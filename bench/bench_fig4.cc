@@ -1,0 +1,68 @@
+/// Figure 4: median relative error of random SUM queries as a function of
+/// the sampling budget, at a fixed 64 partitions.
+///
+/// Interpretation note: the paper sweeps "sample rate 0.1 .. 1.0" relative
+/// to its sampling budget; we sweep the same fractions of a 5% base budget
+/// (so "1.0" stores 5% of the rows). The shape — error falling roughly as
+/// 1/sqrt(budget), PASS below the baselines throughout — is the claim.
+
+#include "bench/bench_common.h"
+
+namespace pass::bench {
+namespace {
+
+constexpr double kBaseBudget = 0.05;
+
+void Run() {
+  std::printf("=== Figure 4: error vs sample rate (SUM, %zu partitions, "
+              "rate fractions of a %.0f%% base budget, %zu queries, "
+              "scale %.1f) ===\n\n",
+              kPartitions, kBaseBudget * 100.0, NumQueries(), Scale());
+
+  for (const auto& ds : RealLikeDatasets()) {
+    WorkloadOptions wl;
+    wl.agg = AggregateType::kSum;
+    wl.count = NumQueries();
+    wl.seed = 400;
+    const auto queries = RandomRangeQueries(ds.data, wl);
+    const auto truths = ComputeGroundTruth(ds.data, queries);
+
+    TablePrinter table({"SampleRate", "PASS", "US", "ST", "AQP++"});
+    for (const double frac :
+         {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+      const double rate = frac * kBaseBudget;
+      const Synopsis pass_sys =
+          MustBuildSynopsis(ds.data, PassDefaults(kPartitions, rate));
+      const UniformSamplingSystem us(ds.data, rate, 41);
+      const StratifiedSamplingSystem st(ds.data, kPartitions, rate, 0, 42);
+      AqpPlusPlusOptions aqp_options;
+      aqp_options.num_partitions = kPartitions;
+      aqp_options.sample_rate = rate;
+      aqp_options.seed = 43;
+      const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
+      table.AddRow(
+          {FormatDouble(frac, 2),
+           Pct(EvaluateSystem(pass_sys, queries, truths, {kLambda})
+                   .median_rel_error),
+           Pct(EvaluateSystem(us, queries, truths, {kLambda})
+                   .median_rel_error),
+           Pct(EvaluateSystem(st, queries, truths, {kLambda})
+                   .median_rel_error),
+           Pct(EvaluateSystem(aqp, queries, truths, {kLambda})
+                   .median_rel_error)});
+    }
+    std::printf("--- %s ---\n", ds.name.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper Fig. 4): every curve falls with more "
+              "samples; PASS dominates from the smallest budget on.\n");
+}
+
+}  // namespace
+}  // namespace pass::bench
+
+int main() {
+  pass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Figure 5: median confidence-interval ratio (half CI width / ground
+/// truth) of random SUM queries as a function of the sampling budget, at a
+/// fixed 64 partitions — the reliability companion to Figure 4.
+
+#include "bench/bench_common.h"
+
+namespace pass::bench {
+namespace {
+
+constexpr double kBaseBudget = 0.05;
+
+void Run() {
+  std::printf("=== Figure 5: CI ratio vs sample rate (SUM, %zu partitions, "
+              "99%% CIs, %zu queries, scale %.1f) ===\n\n",
+              kPartitions, NumQueries(), Scale());
+
+  for (const auto& ds : RealLikeDatasets()) {
+    WorkloadOptions wl;
+    wl.agg = AggregateType::kSum;
+    wl.count = NumQueries();
+    wl.seed = 500;
+    const auto queries = RandomRangeQueries(ds.data, wl);
+    const auto truths = ComputeGroundTruth(ds.data, queries);
+
+    TablePrinter table(
+        {"SampleRate", "PASS", "US", "ST", "AQP++", "PASS CI-coverage"});
+    for (const double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+      const double rate = frac * kBaseBudget;
+      const Synopsis pass_sys =
+          MustBuildSynopsis(ds.data, PassDefaults(kPartitions, rate));
+      const UniformSamplingSystem us(ds.data, rate, 51);
+      const StratifiedSamplingSystem st(ds.data, kPartitions, rate, 0, 52);
+      AqpPlusPlusOptions aqp_options;
+      aqp_options.num_partitions = kPartitions;
+      aqp_options.sample_rate = rate;
+      aqp_options.seed = 53;
+      const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
+      const RunSummary pass_summary =
+          EvaluateSystem(pass_sys, queries, truths, {kLambda});
+      table.AddRow(
+          {FormatDouble(frac, 2), Pct(pass_summary.median_ci_ratio),
+           Pct(EvaluateSystem(us, queries, truths, {kLambda})
+                   .median_ci_ratio),
+           Pct(EvaluateSystem(st, queries, truths, {kLambda})
+                   .median_ci_ratio),
+           Pct(EvaluateSystem(aqp, queries, truths, {kLambda})
+                   .median_ci_ratio),
+           Pct(pass_summary.ci_coverage, 1)});
+    }
+    std::printf("--- %s ---\n", ds.name.c_str());
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("Expected shape (paper Fig. 5): PASS's intervals are the "
+              "narrowest at every budget while still covering the truth.\n");
+}
+
+}  // namespace
+}  // namespace pass::bench
+
+int main() {
+  pass::bench::Run();
+  return 0;
+}

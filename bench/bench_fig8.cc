@@ -1,0 +1,77 @@
+/// Figure 8: multidimensional query templates on the taxi-like dataset.
+/// The i-th template predicates the first i of [pickup_time, pickup_date,
+/// PULocationID, dropoff_date, dropoff_time]. Left: median CI ratio of
+/// KD-PASS vs KD-US. Right: KD-PASS's average skip rate, which decays as
+/// dimensionality grows.
+
+#include "bench/bench_common.h"
+
+namespace pass::bench {
+namespace {
+
+void Run() {
+  const size_t leaves = Scaled(256);  // paper: 1024 at 7.7M rows
+  const double rate = 0.02;
+  std::printf("=== Figure 8: KD-PASS vs KD-US on 1D..5D templates "
+              "(AVG, %zu leaves, sample rate %.0f%%, %zu queries/template, "
+              "scale %.1f) ===\n\n",
+              leaves, rate * 100.0, Scaled(250), Scale());
+  const Dataset data = MakeTaxiLike(TaxiRows());
+
+  TablePrinter table({"Template", "KD-PASS CI", "KD-US CI",
+                      "KD-PASS skip rate", "KD-PASS err", "KD-US err",
+                      "KD-PASS cov", "KD-US cov"});
+  for (size_t dims = 1; dims <= 5; ++dims) {
+    std::vector<size_t> template_dims(dims);
+    for (size_t i = 0; i < dims; ++i) template_dims[i] = i;
+
+    WorkloadOptions wl;
+    wl.agg = AggregateType::kAvg;
+    wl.count = Scaled(250);
+    wl.template_dims = template_dims;
+    wl.seed = 800 + dims;
+    wl.anchored = false;  // the paper's fully random queries
+    const auto queries = RandomRangeQueries(data, wl);
+    const auto truths = ComputeGroundTruth(data, queries);
+
+    BuildOptions kd_pass = PassDefaults(leaves, rate, AggregateType::kAvg);
+    kd_pass.strategy = PartitionStrategy::kKdGreedy;
+    kd_pass.partition_dims = template_dims;
+    const Synopsis pass_sys = MustBuildSynopsis(data, kd_pass);
+
+    KdUsOptions kd_us;
+    kd_us.partition_dims = template_dims;
+    kd_us.max_leaves = leaves;
+    kd_us.sample_rate = rate;
+    kd_us.seed = 81;
+    const auto us_sys = MakeKdUs(data, kd_us);
+
+    const RunSummary pass_summary =
+        EvaluateSystem(pass_sys, queries, truths, {kLambda});
+    const RunSummary us_summary =
+        EvaluateSystem(us_sys, queries, truths, {kLambda});
+    table.AddRow({std::to_string(dims) + "D",
+                  Pct(pass_summary.median_ci_ratio),
+                  Pct(us_summary.median_ci_ratio),
+                  Pct(pass_summary.mean_skip_rate, 1),
+                  Pct(pass_summary.median_rel_error),
+                  Pct(us_summary.median_rel_error),
+                  Pct(pass_summary.ci_coverage, 1),
+                  Pct(us_summary.ci_coverage, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 8): skip rate high but decaying with "
+      "dimensionality; KD-PASS at least as accurate with honest coverage.\n"
+      "Note: this repo's KD-US is a *stronger* baseline than the paper's — "
+      "it also answers covered partitions exactly — so the CI-width gap is "
+      "narrower here; KD-PASS's edge shows in error and CI coverage.\n");
+}
+
+}  // namespace
+}  // namespace pass::bench
+
+int main() {
+  pass::bench::Run();
+  return 0;
+}

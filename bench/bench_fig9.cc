@@ -1,0 +1,87 @@
+/// Figure 9: workload shift. The synopsis is partitioned on the 2-D
+/// template's attributes only (pickup_time, pickup_date) but answers
+/// templates of every dimensionality 1D..5D. PASS's data bounds over all
+/// columns keep data skipping effective as long as the workload shares
+/// attributes with the precomputed aggregates.
+
+#include "bench/bench_common.h"
+
+#include "partition/ensemble.h"
+
+namespace pass::bench {
+namespace {
+
+void Run() {
+  const size_t leaves = Scaled(256);
+  const double rate = 0.02;
+  std::printf("=== Figure 9: workload shift — aggregates built for the 2D "
+              "template answering 1D..5D (AVG, %zu leaves, scale %.1f) "
+              "===\n\n",
+              leaves, Scale());
+  const Dataset data = MakeTaxiLike(TaxiRows());
+
+  // Build once, on the 2-D template's attributes.
+  BuildOptions kd_pass = PassDefaults(leaves, rate, AggregateType::kAvg);
+  kd_pass.strategy = PartitionStrategy::kKdGreedy;
+  kd_pass.partition_dims = {0, 1};
+  const Synopsis pass_sys = MustBuildSynopsis(data, kd_pass);
+
+  KdUsOptions kd_us;
+  kd_us.partition_dims = {0, 1};
+  kd_us.max_leaves = leaves;
+  kd_us.sample_rate = rate;
+  kd_us.seed = 91;
+  const auto us_sys = MakeKdUs(data, kd_us);
+
+  // The Section 4.5 remedy for template mismatch: one full-budget member
+  // per expected template ("we construct different trees based on
+  // statistics from the workload"), 3x the storage of a single synopsis.
+  BuildOptions ensemble_base = PassDefaults(leaves, rate,
+                                            AggregateType::kAvg);
+  ensemble_base.sample_budget = 3 * static_cast<size_t>(
+      rate * static_cast<double>(data.NumRows()));
+  Result<SynopsisEnsemble> ensemble =
+      BuildEnsemble(data, {{0}, {0, 1}, {0, 1, 2, 3, 4}}, ensemble_base);
+  PASS_CHECK(ensemble.ok());
+
+  TablePrinter table({"Template", "KD-PASS CI", "KD-US CI",
+                      "Ensemble CI (3x)", "KD-PASS skip rate"});
+  for (size_t dims = 1; dims <= 5; ++dims) {
+    std::vector<size_t> template_dims(dims);
+    for (size_t i = 0; i < dims; ++i) template_dims[i] = i;
+    WorkloadOptions wl;
+    wl.agg = AggregateType::kAvg;
+    wl.count = Scaled(250);
+    wl.template_dims = template_dims;
+    wl.seed = 900 + dims;
+    wl.anchored = false;  // the paper's fully random queries
+    const auto queries = RandomRangeQueries(data, wl);
+    const auto truths = ComputeGroundTruth(data, queries);
+    const RunSummary pass_summary =
+        EvaluateSystem(pass_sys, queries, truths, {kLambda});
+    const RunSummary us_summary =
+        EvaluateSystem(us_sys, queries, truths, {kLambda});
+    const RunSummary ens_summary =
+        EvaluateSystem(*ensemble, queries, truths, {kLambda});
+    table.AddRow({std::to_string(dims) + "D",
+                  Pct(pass_summary.median_ci_ratio),
+                  Pct(us_summary.median_ci_ratio),
+                  Pct(ens_summary.median_ci_ratio),
+                  Pct(pass_summary.mean_skip_rate, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 9): even off-template, shared "
+      "attributes keep skip rates high and KD-PASS competitive.\n"
+      "The ensemble column is the Section 4.5 extension: one full-budget "
+      "member per template (3x total storage), each query routed to its "
+      "best-matching member — buying back the off-template loss.\n");
+}
+
+}  // namespace
+}  // namespace pass::bench
+
+int main() {
+  pass::bench::Run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// Micro-benchmarks (google-benchmark): query-path latency of the MCF
+/// index walk, full PASS query answering, synopsis construction, the exact
+/// scan it replaces, and streaming inserts. These back the complexity
+/// claims of Sections 3.2 and 4.5 (MCF is O(gamma log B); updates are
+/// O(height)).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace pass::bench {
+namespace {
+
+const Dataset& SharedTaxi() {
+  static const Dataset* data =
+      new Dataset(MakeTaxiDatetime(200'000, 77));
+  return *data;
+}
+
+const Synopsis& SharedSynopsis(size_t leaves) {
+  static std::map<size_t, Synopsis>* cache = new std::map<size_t, Synopsis>();
+  auto it = cache->find(leaves);
+  if (it == cache->end()) {
+    it = cache->emplace(leaves, MustBuildSynopsis(SharedTaxi(),
+                                                  PassDefaults(leaves)))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_McfWalk(benchmark::State& state) {
+  const Synopsis& s = SharedSynopsis(static_cast<size_t>(state.range(0)));
+  Rect q(1);
+  q.dim(0) = {5.0 * 86400.0, 9.0 * 86400.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.tree().ComputeMcf(q));
+  }
+  state.counters["leaves"] = static_cast<double>(s.tree().NumLeaves());
+}
+BENCHMARK(BM_McfWalk)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AnswerSum(benchmark::State& state) {
+  const Synopsis& s = SharedSynopsis(static_cast<size_t>(state.range(0)));
+  const Query q =
+      MakeRangeQuery(AggregateType::kSum, 5.0 * 86400.0, 9.0 * 86400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Answer(q));
+  }
+}
+BENCHMARK(BM_AnswerSum)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AnswerAvgWithHardBounds(benchmark::State& state) {
+  const Synopsis& s = SharedSynopsis(64);
+  const Query q =
+      MakeRangeQuery(AggregateType::kAvg, 2.0 * 86400.0, 20.0 * 86400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Answer(q));
+  }
+}
+BENCHMARK(BM_AnswerAvgWithHardBounds);
+
+void BM_ExactScanForComparison(benchmark::State& state) {
+  const Dataset& data = SharedTaxi();
+  const Query q =
+      MakeRangeQuery(AggregateType::kSum, 5.0 * 86400.0, 9.0 * 86400.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactAnswer(data, q));
+  }
+}
+BENCHMARK(BM_ExactScanForComparison);
+
+void BM_BuildSynopsisAdp(benchmark::State& state) {
+  const Dataset data =
+      MakeTaxiDatetime(static_cast<size_t>(state.range(0)), 78);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustBuildSynopsis(data, PassDefaults(64, kSampleRate)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildSynopsisAdp)->Arg(50'000)->Arg(200'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamingInsert(benchmark::State& state) {
+  Synopsis s = MustBuildSynopsis(SharedTaxi(), PassDefaults(64));
+  Rng rng(79);
+  for (auto _ : state) {
+    s.Insert({rng.UniformDouble(0.0, 31.0 * 86400.0)},
+             rng.LogNormal(1.0, 0.6));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingInsert);
+
+void BM_LeafSampleScan(benchmark::State& state) {
+  const Synopsis& s = SharedSynopsis(64);
+  const StratifiedSample& sample = s.leaf_sample(0);
+  Rect q(1);
+  q.dim(0) = {0.0, 1e9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample.Scan(q));
+  }
+  state.counters["rows"] = static_cast<double>(sample.size());
+}
+BENCHMARK(BM_LeafSampleScan);
+
+}  // namespace
+}  // namespace pass::bench
+
+BENCHMARK_MAIN();

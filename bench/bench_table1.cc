@@ -1,0 +1,92 @@
+/// Table 1: median relative error of random COUNT/SUM/AVG queries on the
+/// three real-like datasets, for US, ST, AQP++, PASS-ESS, PASS-BSS2x and
+/// PASS-BSS10x under the paper's default budgets (0.5% sampling, 64
+/// partitions, lambda = 2.576), plus each approach's mean construction
+/// cost.
+
+#include "bench/bench_common.h"
+
+namespace pass::bench {
+namespace {
+
+void Run() {
+  std::printf("=== Table 1: accuracy under a fixed query-latency budget "
+              "(sample rate %.2f%%, %zu partitions, %zu queries/cell, "
+              "scale %.1f) ===\n\n",
+              kSampleRate * 100.0, kPartitions, NumQueries(), Scale());
+
+  const std::vector<NamedDataset> datasets = RealLikeDatasets();
+  const std::vector<AggregateType> aggs = {
+      AggregateType::kCount, AggregateType::kSum, AggregateType::kAvg};
+
+  std::vector<std::string> headers = {"Approach", "MeanCost(s)"};
+  for (const auto agg : aggs) {
+    for (const auto& ds : datasets) {
+      headers.push_back(std::string(AggregateName(agg)) + " " + ds.name);
+    }
+  }
+  TablePrinter table(headers);
+
+  // Row-major accumulation: approach -> cells.
+  const std::vector<std::string> approaches = {"US",        "ST",
+                                               "AQP++",     "PASS-ESS",
+                                               "PASS-BSS2x", "PASS-BSS10x"};
+  std::vector<std::vector<std::string>> cells(
+      approaches.size(), std::vector<std::string>{});
+  std::vector<double> build_cost(approaches.size(), 0.0);
+
+  for (const auto agg : aggs) {
+    for (const auto& ds : datasets) {
+      WorkloadOptions wl;
+      wl.agg = agg;
+      wl.count = NumQueries();
+      wl.seed = 1000 + static_cast<uint64_t>(agg);
+      const auto queries = RandomRangeQueries(ds.data, wl);
+      const auto truths = ComputeGroundTruth(ds.data, queries);
+
+      const UniformSamplingSystem us(ds.data, kSampleRate, 11);
+      const StratifiedSamplingSystem st(ds.data, kPartitions, kSampleRate, 0,
+                                        12);
+      AqpPlusPlusOptions aqp_options;
+      aqp_options.num_partitions = kPartitions;
+      aqp_options.sample_rate = kSampleRate;
+      aqp_options.seed = 13;
+      const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
+      const Synopsis ess = BuildPassEss(ds.data, queries, kSampleRate,
+                                        kPartitions, agg);
+      const Synopsis bss2 =
+          BuildPassBss(ds.data, 2.0, kSampleRate, kPartitions, agg);
+      const Synopsis bss10 =
+          BuildPassBss(ds.data, 10.0, kSampleRate, kPartitions, agg);
+
+      const AqpSystem* systems[] = {&us, &st, &aqp, &ess, &bss2, &bss10};
+      for (size_t i = 0; i < approaches.size(); ++i) {
+        const RunSummary summary = EvaluateSystem(*systems[i], queries,
+                                                  truths, {kLambda});
+        cells[i].push_back(Pct(summary.median_rel_error));
+        build_cost[i] += summary.costs.build_seconds;
+      }
+    }
+  }
+
+  const double num_cells =
+      static_cast<double>(aggs.size() * datasets.size());
+  for (size_t i = 0; i < approaches.size(); ++i) {
+    std::vector<std::string> row = {approaches[i],
+                                    FormatDouble(build_cost[i] / num_cells)};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper Table 1): PASS-ESS < PASS-BSS10x < "
+      "PASS-BSS2x < ST/AQP++ < US in error; PASS costs the most upfront.\n");
+}
+
+}  // namespace
+}  // namespace pass::bench
+
+int main() {
+  pass::bench::Run();
+  return 0;
+}

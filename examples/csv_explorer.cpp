@@ -1,0 +1,144 @@
+/// A tiny command-line AQP shell over any CSV file: last column is the
+/// aggregation column, the others are predicate columns. Builds a PASS
+/// synopsis once, then answers range-aggregate queries interactively.
+///
+/// Usage:
+///   ./examples/csv_explorer [file.csv]
+///
+/// With no argument, writes a demo CSV (TPC-H lineitem-like) and explores
+/// that. Query language, one per line on stdin:
+///   SUM|COUNT|AVG|MIN|MAX <dim> <lo> <hi> [<dim> <lo> <hi> ...]
+///   quit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "partition/builder.h"
+
+using namespace pass;
+
+namespace {
+
+bool ParseAggregate(const char* token, AggregateType* out) {
+  static constexpr struct {
+    const char* name;
+    AggregateType agg;
+  } kMap[] = {{"SUM", AggregateType::kSum},
+              {"COUNT", AggregateType::kCount},
+              {"AVG", AggregateType::kAvg},
+              {"MIN", AggregateType::kMin},
+              {"MAX", AggregateType::kMax}};
+  for (const auto& entry : kMap) {
+    if (std::strcmp(token, entry.name) == 0) {
+      *out = entry.agg;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/pass_demo_lineitem.csv";
+    std::printf("No CSV given; writing a demo table to %s ...\n",
+                path.c_str());
+    const Status status = MakeLineitemLike(200'000).WriteCsv(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Result<Dataset> loaded = Dataset::ReadCsv(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& data = *loaded;
+  std::printf("Loaded %zu rows; aggregate column '%s'; predicate columns:",
+              data.NumRows(), data.agg_name().c_str());
+  for (size_t d = 0; d < data.NumPredDims(); ++d) {
+    std::printf(" [%zu]=%s", d, data.pred_name(d).c_str());
+  }
+  std::printf("\n");
+
+  BuildOptions options;
+  options.num_leaves = 128;
+  options.sample_rate = 0.01;
+  Result<Synopsis> built = BuildSynopsis(data, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const Synopsis& synopsis = *built;
+  std::printf("Synopsis ready: %.1f KB, %.2fs build.\n\n",
+              static_cast<double>(synopsis.StorageBytes()) / 1024.0,
+              synopsis.build_seconds());
+  std::printf("Enter queries, e.g.:  SUM 0 100 500     (dim 0 in [100,500])\n"
+              "Multiple clauses:     AVG 0 100 500 2 1 10\n"
+              "Ctrl-D or 'quit' to exit.\n\n");
+
+  char line[512];
+  while (std::printf("pass> "), std::fflush(stdout),
+         std::fgets(line, sizeof(line), stdin) != nullptr) {
+    char* cursor = line;
+    char* agg_token = std::strtok(cursor, " \t\n");
+    if (agg_token == nullptr) continue;
+    if (std::strcmp(agg_token, "quit") == 0) break;
+    AggregateType agg;
+    if (!ParseAggregate(agg_token, &agg)) {
+      std::printf("  unknown aggregate '%s'\n", agg_token);
+      continue;
+    }
+    Query q;
+    q.agg = agg;
+    q.predicate = Rect::All(data.NumPredDims());
+    bool ok = true;
+    while (true) {
+      char* dim_token = std::strtok(nullptr, " \t\n");
+      if (dim_token == nullptr) break;
+      char* lo_token = std::strtok(nullptr, " \t\n");
+      char* hi_token = std::strtok(nullptr, " \t\n");
+      if (lo_token == nullptr || hi_token == nullptr) {
+        std::printf("  expected: <dim> <lo> <hi> triples\n");
+        ok = false;
+        break;
+      }
+      const size_t dim = static_cast<size_t>(std::atoll(dim_token));
+      if (dim >= data.NumPredDims()) {
+        std::printf("  dim %zu out of range\n", dim);
+        ok = false;
+        break;
+      }
+      q.predicate.dim(dim) = Interval{std::atof(lo_token),
+                                      std::atof(hi_token)};
+    }
+    if (!ok) continue;
+
+    const QueryAnswer answer = synopsis.Answer(q);
+    std::printf("  ~= %.6g  (99%% CI +- %.4g)%s%s\n", answer.estimate.value,
+                answer.estimate.HalfWidth(kLambda99),
+                answer.exact ? "  [exact]" : "",
+                answer.LowEvidence() ? "  [low evidence: trust the hard "
+                                       "bounds below]"
+                                     : "");
+    if (answer.hard_lb && answer.hard_ub) {
+      std::printf("  guaranteed within [%.6g, %.6g]; skipped %.1f%% of "
+                  "rows\n",
+                  *answer.hard_lb, *answer.hard_ub,
+                  answer.SkipRate() * 100.0);
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

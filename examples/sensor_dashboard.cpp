@@ -1,0 +1,104 @@
+/// Scenario: an IoT monitoring dashboard re-renders aggregate panels many
+/// times per second while a user brushes over a time range. The dashboard
+/// needs sub-millisecond answers with visible error bars — exactly the
+/// visualization use case that motivates the paper's introduction.
+///
+/// This example compares PASS against a plain uniform sample on a brushing
+/// session of progressively narrower (more selective) windows, and shows
+/// the two PASS behaviours sampling alone cannot give you: answers that
+/// turn *exact* when the brush aligns with partitions, and deterministic
+/// hard bounds even when samples are scarce.
+///
+///   $ ./examples/sensor_dashboard
+
+#include <cstdio>
+
+#include "baselines/uniform_sampling.h"
+#include "common/stopwatch.h"
+#include "core/exact.h"
+#include "data/generators.h"
+#include "harness/table_printer.h"
+#include "partition/builder.h"
+
+using namespace pass;
+
+int main() {
+  std::printf("Loading 1M sensor readings (Intel-lab-like trace)...\n");
+  const Dataset data = MakeIntelLike(1'000'000);
+
+  BuildOptions options;
+  options.num_leaves = 128;
+  options.sample_rate = 0.005;
+  options.optimize_for = AggregateType::kAvg;
+  const Synopsis synopsis = *BuildSynopsis(data, options);
+  const UniformSamplingSystem uniform(data, 0.005, 7);
+  std::printf("PASS synopsis: %.1f KB, built in %.2fs\n\n",
+              static_cast<double>(synopsis.StorageBytes()) / 1024.0,
+              synopsis.build_seconds());
+
+  // A brushing session: the analyst zooms from the full trace down to a
+  // 500-row sliver. Selectivity drops 2000x; watch the error bars.
+  struct Brush {
+    const char* label;
+    double lo, hi;
+  };
+  const Brush session[] = {
+      {"whole month", 0.0, 1'000'000.0},
+      {"one week", 300'000.0, 530'000.0},
+      {"one day", 400'000.0, 430'000.0},
+      {"one hour", 412'000.0, 413'200.0},
+      {"one minute", 412'500.0, 412'999.0},
+  };
+
+  TablePrinter table({"brush", "truth", "PASS est", "PASS CI+-",
+                      "hard bounds", "evidence", "US est", "US CI+-",
+                      "PASS us/query"});
+  for (const Brush& brush : session) {
+    const Query q = MakeRangeQuery(AggregateType::kAvg, brush.lo, brush.hi);
+    const ExactResult truth = ExactAnswer(data, q);
+    Stopwatch timer;
+    const QueryAnswer pass_answer = synopsis.Answer(q);
+    const double pass_us = timer.ElapsedMicros();
+    const QueryAnswer us_answer = uniform.Answer(q);
+
+    char hard[64] = "-";
+    if (pass_answer.hard_lb && pass_answer.hard_ub) {
+      std::snprintf(hard, sizeof(hard), "[%.1f, %.1f]",
+                    *pass_answer.hard_lb, *pass_answer.hard_ub);
+    }
+    // A real dashboard would render LOW-EVIDENCE answers with the hard
+    // bounds shaded instead of the (unreliable) CLT error bar.
+    char evidence[48];
+    if (pass_answer.exact) {
+      std::snprintf(evidence, sizeof(evidence), "exact");
+    } else {
+      std::snprintf(evidence, sizeof(evidence), "%llu rows%s",
+                    static_cast<unsigned long long>(
+                        pass_answer.matched_sample_rows),
+                    pass_answer.LowEvidence() ? " (LOW!)" : "");
+    }
+    table.AddRow({brush.label, FormatDouble(truth.value, 4),
+                  FormatDouble(pass_answer.estimate.value, 4),
+                  FormatDouble(pass_answer.estimate.HalfWidth(kLambda99), 3),
+                  hard, evidence,
+                  FormatDouble(us_answer.estimate.value, 4),
+                  FormatDouble(us_answer.estimate.HalfWidth(kLambda99), 3),
+                  FormatDouble(pass_us, 3)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nTakeaways:\n"
+      " * PASS error bars stay tight as the brush narrows — the partial\n"
+      "   strata shrink with the brush, while the uniform sample's\n"
+      "   effective size collapses (the K/K_pred problem, Section 2.1).\n"
+      " * The hard-bound column is a 100%% guarantee the dashboard can\n"
+      "   shade behind the estimate; sampling alone cannot provide it.\n"
+      " * When the evidence column reads LOW, the CLT interval is not\n"
+      "   trustworthy (too few matching sampled rows) — render the hard\n"
+      "   bounds instead. That switch is exactly what pure sampling\n"
+      "   systems cannot offer.\n"
+      " * Night-time brushes often return [exact] thanks to the\n"
+      "   0-variance rule: constant partitions cost nothing to answer.\n");
+  return 0;
+}

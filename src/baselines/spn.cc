@@ -1,0 +1,394 @@
+#include "baselines/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "stats/sampling.h"
+
+namespace pass {
+namespace {
+
+/// Union-find over a handful of columns for the independence split.
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+double SpnSystem::Histogram::Mass(double a, double b) const {
+  if (total <= 0.0 || count.empty() || a > b) return 0.0;
+  if (hi <= lo) {  // constant column
+    return (a <= lo && lo <= b) ? 1.0 : 0.0;
+  }
+  const size_t bins = count.size();
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double mass = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    const double bin_lo = lo + static_cast<double>(i) * width;
+    const double bin_hi = (i + 1 == bins) ? hi : bin_lo + width;
+    const double ov_lo = std::max(a, bin_lo);
+    const double ov_hi = std::min(b, bin_hi);
+    if (ov_hi < ov_lo) continue;
+    double frac = bin_hi > bin_lo ? (ov_hi - ov_lo) / (bin_hi - bin_lo) : 1.0;
+    // A closed query interval that touches a zero-width overlap still picks
+    // up boundary values; clamp into [0, 1].
+    if (ov_hi == ov_lo && (ov_lo == bin_lo || ov_hi == bin_hi)) {
+      frac = std::max(frac, 1.0 / std::max(1.0, count[i]));
+    }
+    frac = std::clamp(frac, 0.0, 1.0);
+    mass += count[i] * frac;
+  }
+  return std::clamp(mass / total, 0.0, 1.0);
+}
+
+double SpnSystem::Histogram::SumMass(double a, double b) const {
+  if (total <= 0.0 || count.empty() || a > b) return 0.0;
+  if (hi <= lo) {
+    return (a <= lo && lo <= b) ? (sum.empty() ? 0.0 : sum[0] / total) : 0.0;
+  }
+  const size_t bins = count.size();
+  const double width = (hi - lo) / static_cast<double>(bins);
+  double acc = 0.0;
+  for (size_t i = 0; i < bins; ++i) {
+    const double bin_lo = lo + static_cast<double>(i) * width;
+    const double bin_hi = (i + 1 == bins) ? hi : bin_lo + width;
+    const double ov_lo = std::max(a, bin_lo);
+    const double ov_hi = std::min(b, bin_hi);
+    if (ov_hi < ov_lo) continue;
+    double frac = bin_hi > bin_lo ? (ov_hi - ov_lo) / (bin_hi - bin_lo) : 1.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    acc += sum[i] * frac;
+  }
+  return acc / total;
+}
+
+SpnSystem::SpnSystem(const Dataset& data, const Options& options)
+    : data_(&data),
+      agg_col_(data.NumPredDims()),
+      population_rows_(data.NumRows()),
+      options_(options) {
+  Stopwatch timer;
+  PASS_CHECK(options.train_fraction > 0.0 && options.train_fraction <= 1.0);
+  Rng rng(options.seed);
+  const size_t n = data.NumRows();
+  const size_t train = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             options.train_fraction * static_cast<double>(n))));
+  std::vector<uint32_t> rows;
+  rows.reserve(train);
+  for (const size_t idx : SampleWithoutReplacement(n, train, &rng)) {
+    rows.push_back(static_cast<uint32_t>(idx));
+  }
+  std::vector<size_t> scope(agg_col_ + 1);
+  std::iota(scope.begin(), scope.end(), size_t{0});
+
+  agg_min_ = std::numeric_limits<double>::infinity();
+  agg_max_ = -agg_min_;
+  for (const uint32_t row : rows) {
+    agg_min_ = std::min(agg_min_, data.agg(row));
+    agg_max_ = std::max(agg_max_, data.agg(row));
+  }
+
+  root_ = Build(rows, scope, 0);
+  build_seconds_ = timer.ElapsedSeconds();
+}
+
+double SpnSystem::ColumnValue(size_t col, uint32_t row) const {
+  return col == agg_col_ ? data_->agg(row) : data_->pred(col, row);
+}
+
+int32_t SpnSystem::BuildLeaf(const std::vector<uint32_t>& rows, size_t col) {
+  Node node;
+  node.type = Node::Type::kLeaf;
+  node.scope_has_agg = (col == agg_col_);
+  Histogram& h = node.hist;
+  h.col = col;
+  h.total = static_cast<double>(rows.size());
+  h.lo = std::numeric_limits<double>::infinity();
+  h.hi = -h.lo;
+  for (const uint32_t row : rows) {
+    const double v = ColumnValue(col, row);
+    h.lo = std::min(h.lo, v);
+    h.hi = std::max(h.hi, v);
+  }
+  const size_t bins = (h.hi <= h.lo) ? 1 : options_.num_bins;
+  h.count.assign(bins, 0.0);
+  h.sum.assign(bins, 0.0);
+  const double width =
+      bins == 1 ? 1.0 : (h.hi - h.lo) / static_cast<double>(bins);
+  for (const uint32_t row : rows) {
+    const double v = ColumnValue(col, row);
+    size_t idx = 0;
+    if (bins > 1) {
+      idx = std::min(bins - 1,
+                     static_cast<size_t>((v - h.lo) / width));
+    }
+    h.count[idx] += 1.0;
+    h.sum[idx] += v;
+  }
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t SpnSystem::BuildNaiveProduct(const std::vector<uint32_t>& rows,
+                                     const std::vector<size_t>& scope) {
+  if (scope.size() == 1) return BuildLeaf(rows, scope[0]);
+  Node node;
+  node.type = Node::Type::kProduct;
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  std::vector<int32_t> children;
+  bool has_agg = false;
+  for (const size_t col : scope) {
+    children.push_back(BuildLeaf(rows, col));
+    has_agg = has_agg || (col == agg_col_);
+  }
+  nodes_[static_cast<size_t>(id)].children = std::move(children);
+  nodes_[static_cast<size_t>(id)].scope_has_agg = has_agg;
+  return id;
+}
+
+int32_t SpnSystem::Build(const std::vector<uint32_t>& rows,
+                         const std::vector<size_t>& scope, size_t depth) {
+  if (scope.size() == 1) return BuildLeaf(rows, scope[0]);
+  if (rows.size() < options_.min_instances || depth >= options_.max_depth) {
+    return BuildNaiveProduct(rows, scope);
+  }
+
+  // --- Independence test: pairwise Pearson correlation on a row subsample.
+  const size_t cap = std::min(options_.corr_sample_cap, rows.size());
+  const size_t stride = std::max<size_t>(1, rows.size() / cap);
+  std::vector<uint32_t> probe;
+  probe.reserve(cap);
+  for (size_t i = 0; i < rows.size(); i += stride) probe.push_back(rows[i]);
+
+  const size_t s = scope.size();
+  std::vector<double> mean(s, 0.0);
+  std::vector<double> sd(s, 0.0);
+  for (size_t c = 0; c < s; ++c) {
+    double acc = 0.0;
+    for (const uint32_t row : probe) acc += ColumnValue(scope[c], row);
+    mean[c] = acc / static_cast<double>(probe.size());
+    double var = 0.0;
+    for (const uint32_t row : probe) {
+      const double dv = ColumnValue(scope[c], row) - mean[c];
+      var += dv * dv;
+    }
+    sd[c] = std::sqrt(var / static_cast<double>(probe.size()));
+  }
+  UnionFind uf(s);
+  for (size_t a = 0; a < s; ++a) {
+    for (size_t b = a + 1; b < s; ++b) {
+      if (sd[a] <= 0.0 || sd[b] <= 0.0) continue;  // constants: independent
+      double cov = 0.0;
+      for (const uint32_t row : probe) {
+        cov += (ColumnValue(scope[a], row) - mean[a]) *
+               (ColumnValue(scope[b], row) - mean[b]);
+      }
+      cov /= static_cast<double>(probe.size());
+      const double corr = cov / (sd[a] * sd[b]);
+      if (std::abs(corr) >= options_.corr_threshold) uf.Union(a, b);
+    }
+  }
+  std::vector<std::vector<size_t>> groups;
+  {
+    // Group scope columns by union-find representative.
+    std::vector<size_t> reps;
+    for (size_t c = 0; c < s; ++c) {
+      const size_t rep = uf.Find(c);
+      size_t gi = reps.size();
+      for (size_t g = 0; g < reps.size(); ++g) {
+        if (reps[g] == rep) {
+          gi = g;
+          break;
+        }
+      }
+      if (gi == reps.size()) {
+        reps.push_back(rep);
+        groups.emplace_back();
+      }
+      groups[gi].push_back(scope[c]);
+    }
+  }
+  if (groups.size() > 1) {
+    Node node;
+    node.type = Node::Type::kProduct;
+    const int32_t id = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    std::vector<int32_t> children;
+    bool has_agg = false;
+    for (const auto& group : groups) {
+      children.push_back(Build(rows, group, depth + 1));
+      for (const size_t col : group) has_agg = has_agg || col == agg_col_;
+    }
+    nodes_[static_cast<size_t>(id)].children = std::move(children);
+    nodes_[static_cast<size_t>(id)].scope_has_agg = has_agg;
+    return id;
+  }
+
+  // --- Row split: 2-way clustering on the highest normalized variance
+  // column, thresholded at its mean.
+  size_t split_col = scope[0];
+  double best_score = -1.0;
+  double split_threshold = 0.0;
+  for (size_t c = 0; c < s; ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const uint32_t row : probe) {
+      const double v = ColumnValue(scope[c], row);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double span = hi - lo;
+    if (span <= 0.0) continue;
+    const double score = sd[c] * sd[c] / (span * span);
+    if (score > best_score) {
+      best_score = score;
+      split_col = scope[c];
+      split_threshold = mean[c];
+    }
+  }
+  if (best_score <= 0.0) return BuildNaiveProduct(rows, scope);
+
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  for (const uint32_t row : rows) {
+    if (ColumnValue(split_col, row) <= split_threshold) {
+      left.push_back(row);
+    } else {
+      right.push_back(row);
+    }
+  }
+  if (left.empty() || right.empty()) return BuildNaiveProduct(rows, scope);
+
+  Node node;
+  node.type = Node::Type::kSum;
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  const double total = static_cast<double>(rows.size());
+  std::vector<int32_t> children;
+  std::vector<double> weights;
+  children.push_back(Build(left, scope, depth + 1));
+  weights.push_back(static_cast<double>(left.size()) / total);
+  children.push_back(Build(right, scope, depth + 1));
+  weights.push_back(static_cast<double>(right.size()) / total);
+  nodes_[static_cast<size_t>(id)].children = std::move(children);
+  nodes_[static_cast<size_t>(id)].weights = std::move(weights);
+  bool has_agg = false;
+  for (const size_t col : scope) has_agg = has_agg || col == agg_col_;
+  nodes_[static_cast<size_t>(id)].scope_has_agg = has_agg;
+  return id;
+}
+
+SpnSystem::Eval SpnSystem::Evaluate(int32_t id, const Query& query) const {
+  const Node& node = nodes_[static_cast<size_t>(id)];
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      Eval out;
+      if (node.hist.col == agg_col_) {
+        // The aggregate column is never predicated in this query model.
+        out.p = 1.0;
+        out.ea = node.hist.SumMass(-std::numeric_limits<double>::infinity(),
+                                   std::numeric_limits<double>::infinity());
+        out.has_ea = true;
+      } else {
+        const Interval& iv = query.predicate.dim(node.hist.col);
+        out.p = node.hist.Mass(iv.lo, iv.hi);
+        out.has_ea = false;
+      }
+      return out;
+    }
+    case Node::Type::kProduct: {
+      Eval out;
+      out.p = 1.0;
+      double ea_part = 0.0;
+      bool has_ea = false;
+      double others_p = 1.0;
+      for (const int32_t child : node.children) {
+        const Eval e = Evaluate(child, query);
+        out.p *= e.p;
+        if (e.has_ea) {
+          ea_part = e.ea;
+          has_ea = true;
+        } else {
+          others_p *= e.p;
+        }
+      }
+      if (has_ea) {
+        out.ea = ea_part * others_p;
+        out.has_ea = true;
+      }
+      return out;
+    }
+    case Node::Type::kSum: {
+      Eval out;
+      out.p = 0.0;
+      out.ea = 0.0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        const Eval e = Evaluate(node.children[i], query);
+        out.p += node.weights[i] * e.p;
+        if (e.has_ea) {
+          out.ea += node.weights[i] * e.ea;
+          out.has_ea = true;
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+QueryAnswer SpnSystem::Answer(const Query& query) const {
+  QueryAnswer out;
+  out.population_rows = population_rows_;
+  out.population_rows_skipped = population_rows_;  // model never scans data
+  const Eval eval = Evaluate(root_, query);
+  const double n = static_cast<double>(population_rows_);
+  switch (query.agg) {
+    case AggregateType::kCount:
+      out.estimate.value = n * eval.p;
+      break;
+    case AggregateType::kSum:
+      out.estimate.value = n * eval.ea;
+      break;
+    case AggregateType::kAvg:
+      out.estimate.value = eval.p > 1e-12 ? eval.ea / eval.p : 0.0;
+      break;
+    case AggregateType::kMin:
+      out.estimate.value = agg_min_;
+      break;
+    case AggregateType::kMax:
+      out.estimate.value = agg_max_;
+      break;
+  }
+  return out;
+}
+
+SystemCosts SpnSystem::Costs() const {
+  SystemCosts c;
+  c.build_seconds = build_seconds_;
+  for (const Node& node : nodes_) {
+    c.storage_bytes += sizeof(Node) +
+                       node.hist.count.size() * 2 * sizeof(double) +
+                       node.children.size() * sizeof(int32_t) +
+                       node.weights.size() * sizeof(double);
+  }
+  return c;
+}
+
+}  // namespace pass

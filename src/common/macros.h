@@ -1,0 +1,38 @@
+#ifndef PASS_COMMON_MACROS_H_
+#define PASS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Fail-fast invariant checking. `PASS_CHECK` is always on; `PASS_DCHECK`
+/// compiles out in NDEBUG builds. These are for *internal* invariants —
+/// fallible user-facing APIs return pass::Status / pass::Result instead.
+
+#define PASS_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PASS_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define PASS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PASS_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define PASS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PASS_DCHECK(cond) PASS_CHECK(cond)
+#endif
+
+#endif  // PASS_COMMON_MACROS_H_

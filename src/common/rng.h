@@ -1,0 +1,93 @@
+#ifndef PASS_COMMON_RNG_H_
+#define PASS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64 so that nearby seeds produce unrelated streams. Every
+/// randomized component in the library takes an explicit seed and builds one
+/// of these, which makes tests and benchmarks bit-for-bit reproducible.
+///
+/// Satisfies UniformRandomBitGenerator, so it can be handed to <random>
+/// distributions and std::shuffle as well.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ull; }
+
+  /// Next raw 64 random bits.
+  uint64_t operator()() { return Next64(); }
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless rejection method (unbiased).
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  /// Lognormal with underlying N(mu, sigma).
+  double LogNormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (>0), via inverse
+  /// transform on the precomputed CDF owned by ZipfTable (see below) — this
+  /// method is the slow one-off path used in tests.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle of v.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    PASS_CHECK(v != nullptr);
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Precomputed Zipf(n, s) sampler: O(n) setup, O(log n) draws. Use this for
+/// bulk generation (the Rng::Zipf one-off recomputes the normalizer).
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double s);
+
+  /// Draws a value in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1)
+};
+
+}  // namespace pass
+
+#endif  // PASS_COMMON_RNG_H_

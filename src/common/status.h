@@ -1,0 +1,112 @@
+#ifndef PASS_COMMON_STATUS_H_
+#define PASS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// library is in-process, so most failures are caller contract violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight status object (no exceptions on hot paths). Mirrors the
+/// absl::Status shape: cheap to construct for OK, carries a message
+/// otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: k must be >= 1".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Minimal expected<>-style type so the
+/// library builds without exceptions enabled.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, mirroring absl::StatusOr.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    PASS_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors. The caller must have verified ok().
+  const T& value() const& {
+    PASS_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    PASS_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    PASS_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef PASS_COMMON_STOPWATCH_H_
+#define PASS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pass {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness to report
+/// build and query latencies.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_COMMON_STOPWATCH_H_

@@ -1,0 +1,57 @@
+#ifndef PASS_CORE_AGGREGATE_STATS_H_
+#define PASS_CORE_AGGREGATE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace pass {
+
+/// The per-partition precomputed aggregates PASS stores at every tree node:
+/// SUM, COUNT, MIN, MAX of the aggregation column (Section 3.2; AVG is
+/// implicit as SUM/COUNT). We additionally keep the sum of squares, which
+/// costs one double and buys exact per-partition variances for the
+/// optimizer and diagnostics.
+struct AggregateStats {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    ++count;
+    sum += v;
+    sum_sq += v * v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void Merge(const AggregateStats& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Population variance of the values in the partition.
+  double Variance() const {
+    if (count < 2) return 0.0;
+    const double n = static_cast<double>(count);
+    const double v = sum_sq / n - (sum / n) * (sum / n);
+    return v > 0.0 ? v : 0.0;
+  }
+
+  /// The 0-variance test of the paper's MCF extension ("the min value is
+  /// equal to the max value", Section 3.4).
+  bool IsConstant() const { return count > 0 && min == max; }
+};
+
+}  // namespace pass
+
+#endif  // PASS_CORE_AGGREGATE_STATS_H_

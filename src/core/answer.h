@@ -1,0 +1,55 @@
+#ifndef PASS_CORE_ANSWER_H_
+#define PASS_CORE_ANSWER_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "stats/confidence.h"
+
+namespace pass {
+
+/// What an AQP system returns for one query: a point estimate with a CLT
+/// variance (Sections 2.1-2.2), plus — when the system supports them —
+/// deterministic hard bounds (the 100% confidence interval of Section 2.3),
+/// plus diagnostics used by the experiment harness (skip rate, effective
+/// sample size, MCF size).
+struct QueryAnswer {
+  Estimate estimate;  // point value + estimator variance
+
+  /// Deterministic bounds: the true answer is guaranteed to lie within
+  /// [hard_lb, hard_ub] whenever they are set.
+  std::optional<double> hard_lb;
+  std::optional<double> hard_ub;
+
+  /// True when the answer was assembled purely from precomputed aggregates
+  /// (the query "aligned" with the partitioning): zero error.
+  bool exact = false;
+
+  // -- Diagnostics ----------------------------------------------------------
+  uint64_t population_rows = 0;          // N of the backing dataset
+  uint64_t population_rows_skipped = 0;  // rows inside skipped/covered parts
+  uint64_t sample_rows_scanned = 0;      // effective sample size (ESS cost)
+  uint64_t matched_sample_rows = 0;      // sampled rows satisfying the query
+  uint32_t covered_nodes = 0;
+  uint32_t partial_leaves = 0;
+  uint32_t nodes_visited = 0;
+
+  double SkipRate() const {
+    return population_rows == 0
+               ? 0.0
+               : static_cast<double>(population_rows_skipped) /
+                     static_cast<double>(population_rows);
+  }
+
+  /// True when the sampled evidence behind the estimate is thin: the CLT
+  /// interval is then unreliable (Section 2.1.1's caveat) and callers
+  /// should fall back to the deterministic hard bounds. Exact answers are
+  /// never low-evidence.
+  bool LowEvidence(uint64_t min_matched = 10) const {
+    return !exact && matched_sample_rows < min_matched;
+  }
+};
+
+}  // namespace pass
+
+#endif  // PASS_CORE_ANSWER_H_

@@ -1,0 +1,33 @@
+#ifndef PASS_CORE_AQP_SYSTEM_H_
+#define PASS_CORE_AQP_SYSTEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/answer.h"
+#include "core/query.h"
+
+namespace pass {
+
+/// Build-time / space costs of a synopsis, reported alongside accuracy in
+/// the paper's Table 1 and Table 2.
+struct SystemCosts {
+  double build_seconds = 0.0;
+  uint64_t storage_bytes = 0;  // synopsis payload (samples + aggregates)
+};
+
+/// Common interface every AQP approach in this repository implements (PASS
+/// and all baselines), so the experiment harness can evaluate them
+/// uniformly.
+class AqpSystem {
+ public:
+  virtual ~AqpSystem() = default;
+
+  virtual QueryAnswer Answer(const Query& query) const = 0;
+  virtual std::string Name() const = 0;
+  virtual SystemCosts Costs() const = 0;
+};
+
+}  // namespace pass
+
+#endif  // PASS_CORE_AQP_SYSTEM_H_

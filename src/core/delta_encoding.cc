@@ -1,0 +1,54 @@
+#include "core/delta_encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pass {
+
+DeltaEncodedColumn DeltaEncodeAggregates(const StratifiedSample& sample,
+                                         double partition_mean,
+                                         double relative_tolerance) {
+  DeltaEncodedColumn out;
+  out.base = partition_mean;
+  out.deltas.reserve(sample.size());
+  // The error budget is relative to the *within-sample* spread (the scale
+  // estimators actually depend on), not to the distance from the encoding
+  // base — otherwise a badly chosen base would inflate its own budget.
+  double mean = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) mean += sample.agg(i);
+  if (sample.size() > 0) mean /= static_cast<double>(sample.size());
+  double spread = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    spread = std::max(spread, std::abs(sample.agg(i) - mean));
+  }
+  const double budget = relative_tolerance * std::max(spread, 1.0);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const double delta = sample.agg(i) - partition_mean;
+    const float encoded = static_cast<float>(delta);
+    if (std::abs(static_cast<double>(encoded) - delta) > budget) {
+      out.lossless_enough = false;
+    }
+    out.deltas.push_back(encoded);
+  }
+  return out;
+}
+
+std::vector<double> DeltaDecode(const DeltaEncodedColumn& encoded) {
+  std::vector<double> out;
+  out.reserve(encoded.deltas.size());
+  for (const float delta : encoded.deltas) {
+    out.push_back(encoded.base + static_cast<double>(delta));
+  }
+  return out;
+}
+
+size_t DeltaEncodedAggregateBytes(const StratifiedSample& sample,
+                                  double partition_mean,
+                                  double relative_tolerance) {
+  const DeltaEncodedColumn encoded =
+      DeltaEncodeAggregates(sample, partition_mean, relative_tolerance);
+  if (!encoded.lossless_enough) return sample.size() * sizeof(double);
+  return encoded.SizeBytes();
+}
+
+}  // namespace pass

@@ -1,0 +1,49 @@
+#ifndef PASS_CORE_DELTA_ENCODING_H_
+#define PASS_CORE_DELTA_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stratified_sample.h"
+
+namespace pass {
+
+/// Section 3.4's sample compression: "Every sampled tuple can be expressed
+/// as a delta from its partition average. Ideally, the variance within a
+/// partition would be smaller than the variance over the whole dataset."
+///
+/// We store the aggregate column of a leaf sample as float32 deltas from
+/// the partition mean — halving its footprint — but only when the
+/// round-trip error stays below a relative tolerance, so estimator results
+/// are indistinguishable. Predicate columns are not delta-encoded (they
+/// carry the partition-local coordinates MCF scans against).
+struct DeltaEncodedColumn {
+  double base = 0.0;            // the partition mean
+  std::vector<float> deltas;    // value = base + delta
+  bool lossless_enough = true;  // round-trip error within tolerance
+
+  size_t SizeBytes() const {
+    return sizeof(base) + deltas.size() * sizeof(float);
+  }
+};
+
+/// Encodes the aggregate values of `sample` as deltas from `partition_mean`.
+/// `relative_tolerance` bounds the acceptable per-value round-trip error
+/// relative to the value range; if any value violates it,
+/// `lossless_enough` is false and callers should keep the raw doubles.
+DeltaEncodedColumn DeltaEncodeAggregates(const StratifiedSample& sample,
+                                         double partition_mean,
+                                         double relative_tolerance = 1e-6);
+
+/// Decodes back to doubles.
+std::vector<double> DeltaDecode(const DeltaEncodedColumn& encoded);
+
+/// Storage accounting: bytes for the aggregate column of this sample under
+/// delta encoding (falls back to raw size when the tolerance fails).
+size_t DeltaEncodedAggregateBytes(const StratifiedSample& sample,
+                                  double partition_mean,
+                                  double relative_tolerance = 1e-6);
+
+}  // namespace pass
+
+#endif  // PASS_CORE_DELTA_ENCODING_H_

@@ -1,0 +1,268 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+#include "core/hard_bounds.h"
+
+namespace pass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Fpc(double n_pop, double k_samp, bool enabled) {
+  if (!enabled) return 1.0;
+  return FinitePopulationCorrection(n_pop, k_samp);
+}
+
+/// Accumulators for the ratio (SUM/COUNT) AVG estimator: per-stratum
+/// variances and covariances summed across independent strata.
+struct RatioParts {
+  double sum = 0.0;        // A
+  double count = 0.0;      // B
+  double var_sum = 0.0;    // Var(A)
+  double var_count = 0.0;  // Var(B)
+  double cov = 0.0;        // Cov(A, B)
+};
+
+}  // namespace
+
+StratumEstimate EstimateStratumSum(double n_pop, double k_samp, double s,
+                                   double ss, bool use_fpc) {
+  StratumEstimate out;
+  if (k_samp <= 0.0 || n_pop <= 0.0) return out;
+  const double mean_phi = s / k_samp;                      // E[pred*a]
+  double var_phi = ss / k_samp - mean_phi * mean_phi;      // Var(pred*a)
+  var_phi = std::max(var_phi, 0.0);
+  out.value = n_pop * mean_phi;
+  out.variance =
+      n_pop * n_pop * var_phi / k_samp * Fpc(n_pop, k_samp, use_fpc);
+  return out;
+}
+
+QueryAnswer AnswerWithTree(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           const Query& query, const EstimatorOptions& opts) {
+  const bool use_rule =
+      opts.zero_variance_rule && query.agg == AggregateType::kAvg;
+  const PartitionTree::Frontier frontier =
+      tree.ComputeMcf(query.predicate, use_rule);
+
+  QueryAnswer out;
+  out.covered_nodes = static_cast<uint32_t>(frontier.covered.size() +
+                                            frontier.zero_var.size());
+  out.partial_leaves = static_cast<uint32_t>(frontier.partial.size());
+  out.nodes_visited = frontier.nodes_visited;
+  if (tree.root() >= 0) {
+    out.population_rows = tree.node(tree.root()).stats.count;
+  }
+
+  // Rows the synopsis never has to look at: everything outside the partial
+  // leaves (covered partitions are answered from aggregates; disjoint ones
+  // are skipped by the index walk).
+  uint64_t partial_rows = 0;
+  for (const int32_t id : frontier.partial) {
+    partial_rows += tree.node(id).stats.count;
+  }
+  out.population_rows_skipped = out.population_rows - partial_rows;
+  out.exact = frontier.partial.empty() && frontier.zero_var.empty();
+
+  // Exact side: merge covered aggregates; 0-variance nodes contribute their
+  // constant value with their full cardinality (the paper's rule).
+  AggregateStats covered_stats;
+  for (const int32_t id : frontier.covered) {
+    covered_stats.Merge(tree.node(id).stats);
+  }
+  for (const int32_t id : frontier.zero_var) {
+    covered_stats.Merge(tree.node(id).stats);
+  }
+
+  // Scan the stratified samples of partially-overlapped leaves once.
+  struct PartialScan {
+    int32_t node = -1;
+    double n_pop = 0.0;
+    double k_samp = 0.0;
+    StratifiedSample::ScanResult scan;
+  };
+  std::vector<PartialScan> partials;
+  partials.reserve(frontier.partial.size());
+  std::optional<double> observed_min;
+  std::optional<double> observed_max;
+  for (const int32_t id : frontier.partial) {
+    const PartitionTree::Node& n = tree.node(id);
+    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
+    const StratifiedSample& sample = samples[static_cast<size_t>(n.leaf_id)];
+    PartialScan p;
+    p.node = id;
+    p.n_pop = static_cast<double>(n.stats.count);
+    p.k_samp = static_cast<double>(sample.size());
+    p.scan = sample.Scan(query.predicate);
+    out.sample_rows_scanned += sample.size();
+    out.matched_sample_rows += p.scan.matched;
+    if (p.scan.matched > 0) {
+      observed_min = observed_min ? std::min(*observed_min, p.scan.min)
+                                  : p.scan.min;
+      observed_max = observed_max ? std::max(*observed_max, p.scan.max)
+                                  : p.scan.max;
+    }
+    partials.push_back(p);
+  }
+
+  // Hard bounds need the 0-variance nodes on the *partial* side (their
+  // matched cardinality is unknown even though their value is constant).
+  HardBounds hard;
+  if (opts.compute_hard_bounds) {
+    std::vector<int32_t> bound_partials = frontier.partial;
+    bound_partials.insert(bound_partials.end(), frontier.zero_var.begin(),
+                          frontier.zero_var.end());
+    hard = ComputeHardBounds(tree, frontier.covered, bound_partials,
+                             query.agg, observed_min, observed_max);
+    if (hard.valid) {
+      out.hard_lb = hard.lb;
+      out.hard_ub = hard.ub;
+    }
+  }
+
+  switch (query.agg) {
+    case AggregateType::kSum:
+    case AggregateType::kCount: {
+      const bool is_sum = query.agg == AggregateType::kSum;
+      double value = is_sum ? covered_stats.sum
+                            : static_cast<double>(covered_stats.count);
+      double variance = 0.0;
+      for (const PartialScan& p : partials) {
+        if (p.k_samp <= 0.0) {
+          // Leaf with no sample: fall back to the midpoint of the node's
+          // deterministic contribution bounds, with the variance of a
+          // uniform distribution over that range.
+          const AggregateStats& s = tree.node(p.node).stats;
+          const double cnt = static_cast<double>(s.count);
+          double lo;
+          double hi;
+          if (is_sum) {
+            lo = (s.max <= 0.0) ? s.sum : cnt * std::min(0.0, s.min);
+            hi = (s.min >= 0.0) ? s.sum : cnt * std::max(0.0, s.max);
+          } else {
+            lo = 0.0;
+            hi = cnt;
+          }
+          value += 0.5 * (lo + hi);
+          variance += (hi - lo) * (hi - lo) / 12.0;
+          continue;
+        }
+        const double s = is_sum ? p.scan.sum
+                                : static_cast<double>(p.scan.matched);
+        const double ss = is_sum ? p.scan.sum_sq
+                                 : static_cast<double>(p.scan.matched);
+        const StratumEstimate est =
+            EstimateStratumSum(p.n_pop, p.k_samp, s, ss, opts.use_fpc);
+        value += est.value;
+        variance += est.variance;
+      }
+      out.estimate.value = value;
+      out.estimate.variance = variance;
+      break;
+    }
+
+    case AggregateType::kAvg: {
+      if (opts.avg_mode == AvgMode::kRatio) {
+        RatioParts r;
+        r.sum = covered_stats.sum;
+        r.count = static_cast<double>(covered_stats.count);
+        for (const PartialScan& p : partials) {
+          if (p.k_samp <= 0.0 || p.scan.matched == 0) continue;
+          const double k = static_cast<double>(p.scan.matched);
+          const StratumEstimate es = EstimateStratumSum(
+              p.n_pop, p.k_samp, p.scan.sum, p.scan.sum_sq, opts.use_fpc);
+          const StratumEstimate ec =
+              EstimateStratumSum(p.n_pop, p.k_samp, k, k, opts.use_fpc);
+          r.sum += es.value;
+          r.count += ec.value;
+          r.var_sum += es.variance;
+          r.var_count += ec.variance;
+          // Cov of the (sum, count) estimators within the stratum:
+          // sample covariance of (pred*a, pred) scaled like the variances.
+          const double mean_x = p.scan.sum / p.k_samp;
+          const double mean_y = k / p.k_samp;
+          const double cov_sample = p.scan.sum / p.k_samp - mean_x * mean_y;
+          r.cov += p.n_pop * p.n_pop * cov_sample / p.k_samp *
+                   Fpc(p.n_pop, p.k_samp, opts.use_fpc);
+        }
+        if (r.count <= 0.0) {
+          // No evidence of any matching tuple: report the hard-bound
+          // midpoint if available, else 0, with zero confidence.
+          out.estimate.value = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
+          out.estimate.variance =
+              hard.valid ? (hard.ub - hard.lb) * (hard.ub - hard.lb) / 12.0
+                         : 0.0;
+        } else {
+          const double ratio = r.sum / r.count;
+          double var = (r.var_sum - 2.0 * ratio * r.cov +
+                        ratio * ratio * r.var_count) /
+                       (r.count * r.count);
+          out.estimate.value = ratio;
+          out.estimate.variance = std::max(var, 0.0);
+        }
+      } else {
+        // Paper weights: relevant partitions are the covered + 0-variance
+        // nodes and the partial leaves with at least one matched sample.
+        double n_q = static_cast<double>(covered_stats.count);
+        for (const PartialScan& p : partials) {
+          if (p.scan.matched > 0) n_q += p.n_pop;
+        }
+        if (n_q <= 0.0) {
+          out.estimate.value = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
+          out.estimate.variance =
+              hard.valid ? (hard.ub - hard.lb) * (hard.ub - hard.lb) / 12.0
+                         : 0.0;
+          break;
+        }
+        double value = covered_stats.count > 0
+                           ? covered_stats.Mean() *
+                                 (static_cast<double>(covered_stats.count) /
+                                  n_q)
+                           : 0.0;
+        double variance = 0.0;
+        for (const PartialScan& p : partials) {
+          if (p.scan.matched == 0) continue;
+          const double k = static_cast<double>(p.scan.matched);
+          const double w = p.n_pop / n_q;
+          value += (p.scan.sum / k) * w;
+          // V_i(q) = (ss - s^2/K) / k^2 (Section 4.2.1 via phi scaling).
+          double v = (p.scan.sum_sq - p.scan.sum * p.scan.sum / p.k_samp) /
+                     (k * k);
+          v = std::max(v, 0.0) * Fpc(p.n_pop, p.k_samp, opts.use_fpc);
+          variance += w * w * v;
+        }
+        out.estimate.value = value;
+        out.estimate.variance = variance;
+      }
+      break;
+    }
+
+    case AggregateType::kMin:
+    case AggregateType::kMax: {
+      // Point estimate: best value observed among covered partitions (their
+      // extrema are attained by matching tuples) and matched sample rows.
+      const bool is_min = query.agg == AggregateType::kMin;
+      double best = is_min ? kInf : -kInf;
+      if (covered_stats.count > 0) {
+        best = is_min ? covered_stats.min : covered_stats.max;
+      }
+      if (is_min && observed_min) best = std::min(best, *observed_min);
+      if (!is_min && observed_max) best = std::max(best, *observed_max);
+      if (best == kInf || best == -kInf) {
+        // Nothing observed: report the midpoint of the hard bounds.
+        best = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
+      }
+      out.estimate.value = best;
+      out.estimate.variance = 0.0;  // no CLT interval; use the hard bounds
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pass

@@ -1,0 +1,61 @@
+#ifndef PASS_CORE_ESTIMATOR_H_
+#define PASS_CORE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/answer.h"
+#include "core/partition_tree.h"
+#include "core/query.h"
+#include "core/stratified_sample.h"
+#include "stats/confidence.h"
+
+namespace pass {
+
+/// How AVG queries are estimated.
+enum class AvgMode {
+  /// AVG = (PASS estimate of SUM) / (PASS estimate of COUNT), combining
+  /// exact covered contributions with sampled partial ones; CI via the
+  /// delta method with within-stratum covariance. Statistically the ratio
+  /// estimator; the library default.
+  kRatio,
+  /// The paper's Section 2.2 / 3.3 scheme: per-stratum means combined with
+  /// weights w_i = N_i / N_q, variance sum of w_i^2 * V_i(q).
+  kPaperWeights,
+};
+
+/// Estimator configuration shared by the Synopsis and the baselines that
+/// reuse stratified estimation.
+struct EstimatorOptions {
+  double lambda = kLambda99;  // CI multiplier; paper uses 2.576 (99%)
+  AvgMode avg_mode = AvgMode::kRatio;
+  bool zero_variance_rule = true;  // Section 3.4, AVG only
+  bool use_fpc = true;             // finite population correction
+  bool compute_hard_bounds = true;
+};
+
+/// Full PASS query processing (Section 3.3): MCF index lookup, exact
+/// partial aggregation over covered nodes, stratified sample estimation
+/// over partially-overlapped leaves, CLT confidence interval, and
+/// deterministic hard bounds.
+///
+/// `samples[leaf_id]` is the stratified sample of the leaf with that id.
+QueryAnswer AnswerWithTree(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           const Query& query, const EstimatorOptions& opts);
+
+/// Per-stratum moments used by SUM/COUNT estimation; exposed for reuse by
+/// baselines (stratified sampling shares the math).
+struct StratumEstimate {
+  double value = 0.0;
+  double variance = 0.0;
+};
+
+/// SUM estimator for one stratum of population size `n_pop` from a uniform
+/// sample of size `k_samp` in which the matched tuples have sum `s` and
+/// sum of squares `ss`. COUNT is the special case s = ss = matched.
+StratumEstimate EstimateStratumSum(double n_pop, double k_samp, double s,
+                                   double ss, bool use_fpc);
+
+}  // namespace pass
+
+#endif  // PASS_CORE_ESTIMATOR_H_

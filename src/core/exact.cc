@@ -1,0 +1,60 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace pass {
+
+ExactResult ExactAnswer(const Dataset& data, const Query& query) {
+  const size_t d = data.NumPredDims();
+  PASS_CHECK_MSG(query.predicate.NumDims() == d,
+                 "query dimensionality must match the dataset");
+  ExactResult out;
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  const size_t n = data.NumRows();
+  for (size_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (size_t dim = 0; dim < d; ++dim) {
+      if (!query.predicate.dim(dim).Contains(data.pred(dim, row))) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++out.matched;
+    const double a = data.agg(row);
+    sum += a;
+    mn = std::min(mn, a);
+    mx = std::max(mx, a);
+  }
+  switch (query.agg) {
+    case AggregateType::kSum:
+      out.value = sum;
+      break;
+    case AggregateType::kCount:
+      out.value = static_cast<double>(out.matched);
+      break;
+    case AggregateType::kAvg:
+      out.value = out.matched == 0
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : sum / static_cast<double>(out.matched);
+      break;
+    case AggregateType::kMin:
+      out.value = out.matched == 0
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : mn;
+      break;
+    case AggregateType::kMax:
+      out.value = out.matched == 0
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : mx;
+      break;
+  }
+  return out;
+}
+
+}  // namespace pass

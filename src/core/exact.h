@@ -1,0 +1,24 @@
+#ifndef PASS_CORE_EXACT_H_
+#define PASS_CORE_EXACT_H_
+
+#include <cstdint>
+
+#include "core/query.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// Ground-truth result of a query computed by a full scan. `value` is the
+/// exact aggregate; for AVG/MIN/MAX it is meaningful only when matched > 0.
+struct ExactResult {
+  double value = 0.0;
+  uint64_t matched = 0;
+};
+
+/// Scans the entire dataset. Used for ground truth in tests, benchmarks and
+/// the experiment harness (never on the query path of any synopsis).
+ExactResult ExactAnswer(const Dataset& data, const Query& query);
+
+}  // namespace pass
+
+#endif  // PASS_CORE_EXACT_H_

@@ -1,0 +1,39 @@
+#include "core/group_by.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+std::vector<GroupByRow> AnswerGroupBy(
+    const AqpSystem& system, AggregateType agg, const Rect& base_predicate,
+    size_t group_dim, const std::vector<double>& group_values) {
+  PASS_CHECK(group_dim < base_predicate.NumDims());
+  std::vector<GroupByRow> out;
+  out.reserve(group_values.size());
+  for (const double value : group_values) {
+    Query q;
+    q.agg = agg;
+    q.predicate = base_predicate;
+    q.predicate.dim(group_dim) = Interval{value, value};
+    GroupByRow row;
+    row.group_value = value;
+    row.answer = system.Answer(q);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<double> DistinctValues(const Dataset& data, size_t dim,
+                                   size_t max_values) {
+  PASS_CHECK(dim < data.NumPredDims());
+  std::vector<double> values = data.pred_column(dim);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() > max_values) return {};
+  return values;
+}
+
+}  // namespace pass

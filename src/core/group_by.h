@@ -1,0 +1,39 @@
+#ifndef PASS_CORE_GROUP_BY_H_
+#define PASS_CORE_GROUP_BY_H_
+
+#include <vector>
+
+#include "core/aqp_system.h"
+
+namespace pass {
+
+/// Section 4.5's GROUP BY extension: "each group-by condition can be
+/// rewritten as an equality predicate condition. Then we can aggregate
+/// answers for all the selection queries to generate a final answer."
+///
+/// One result row per group value.
+struct GroupByRow {
+  double group_value = 0.0;
+  QueryAnswer answer;
+};
+
+/// Answers `SELECT group_dim, agg(A) FROM P WHERE base_predicate GROUP BY
+/// group_dim` against any AQP system, for an explicit list of group values
+/// (categorical domains are small by assumption; use DistinctValues to
+/// enumerate them from a dataset).
+std::vector<GroupByRow> AnswerGroupBy(const AqpSystem& system,
+                                      AggregateType agg,
+                                      const Rect& base_predicate,
+                                      size_t group_dim,
+                                      const std::vector<double>& group_values);
+
+/// Enumerates the distinct values of a predicate column, ascending —
+/// intended for categorical/dictionary-encoded columns. `max_values` guards
+/// against misuse on continuous columns (returns an empty vector when
+/// exceeded).
+std::vector<double> DistinctValues(const class Dataset& data, size_t dim,
+                                   size_t max_values = 4096);
+
+}  // namespace pass
+
+#endif  // PASS_CORE_GROUP_BY_H_

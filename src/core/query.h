@@ -1,0 +1,52 @@
+#ifndef PASS_CORE_QUERY_H_
+#define PASS_CORE_QUERY_H_
+
+#include <string>
+
+#include "geom/rect.h"
+
+namespace pass {
+
+/// Aggregate functions supported by a PASS synopsis (Section 3.1):
+/// SELECT <agg>(A) FROM P WHERE x_i <= C_i <= y_i for 1 <= i <= d.
+enum class AggregateType { kSum, kCount, kAvg, kMin, kMax };
+
+inline const char* AggregateName(AggregateType t) {
+  switch (t) {
+    case AggregateType::kSum:
+      return "SUM";
+    case AggregateType::kCount:
+      return "COUNT";
+    case AggregateType::kAvg:
+      return "AVG";
+    case AggregateType::kMin:
+      return "MIN";
+    case AggregateType::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+/// A subpopulation-aggregate query: an aggregate over the aggregation
+/// column restricted to a rectangular predicate over the predicate columns.
+struct Query {
+  AggregateType agg = AggregateType::kSum;
+  Rect predicate;
+
+  std::string ToString() const {
+    return std::string(AggregateName(agg)) + " WHERE " + predicate.ToString();
+  }
+};
+
+/// Convenience constructor for the 1-D case.
+inline Query MakeRangeQuery(AggregateType agg, double lo, double hi) {
+  Query q;
+  q.agg = agg;
+  q.predicate = Rect(1);
+  q.predicate.dim(0) = Interval{lo, hi};
+  return q;
+}
+
+}  // namespace pass
+
+#endif  // PASS_CORE_QUERY_H_

@@ -1,0 +1,37 @@
+#include "core/stratified_sample.h"
+
+#include <algorithm>
+
+namespace pass {
+
+StratifiedSample::ScanResult StratifiedSample::Scan(const Rect& query) const {
+  PASS_DCHECK(query.NumDims() == preds_.size());
+  ScanResult out;
+  const size_t n = agg_.size();
+  const size_t d = preds_.size();
+  bool first = true;
+  for (size_t i = 0; i < n; ++i) {
+    bool match = true;
+    for (size_t dim = 0; dim < d; ++dim) {
+      if (!query.dim(dim).Contains(preds_[dim][i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    const double a = agg_[i];
+    ++out.matched;
+    out.sum += a;
+    out.sum_sq += a * a;
+    if (first) {
+      out.min = out.max = a;
+      first = false;
+    } else {
+      out.min = std::min(out.min, a);
+      out.max = std::max(out.max, a);
+    }
+  }
+  return out;
+}
+
+}  // namespace pass

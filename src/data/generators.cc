@@ -1,0 +1,180 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+/// Mixture time-of-day sampler with morning/evening rush peaks.
+double SampleTimeOfDay(Rng* rng) {
+  const double u = rng->UniformDouble();
+  if (u < 0.25) return std::clamp(rng->Normal(8.5 * 3600, 5400.0), 0.0,
+                                  kSecondsPerDay - 1);
+  if (u < 0.55) return std::clamp(rng->Normal(18.0 * 3600, 7200.0), 0.0,
+                                  kSecondsPerDay - 1);
+  return rng->UniformDouble(0.0, kSecondsPerDay);
+}
+
+struct TaxiRow {
+  double pickup_time;
+  double pickup_date;
+  double location;
+  double dropoff_date;
+  double dropoff_time;
+  double distance;
+};
+
+TaxiRow MakeTaxiRow(Rng* rng, const ZipfTable& zipf) {
+  TaxiRow row;
+  row.pickup_date = static_cast<double>(rng->UniformInt(0, 30));
+  row.pickup_time = SampleTimeOfDay(rng);
+  row.location = static_cast<double>(zipf.Sample(rng));
+  // Distance: lognormal whose scale grows at night (airport runs / empty
+  // roads) and shrinks at rush hour.
+  const double hour = row.pickup_time / 3600.0;
+  const double night = (hour < 6.0 || hour > 22.0) ? 1.0 : 0.0;
+  const double rush =
+      (std::abs(hour - 8.5) < 1.5 || std::abs(hour - 18.0) < 2.0) ? 1.0 : 0.0;
+  const double mu = 0.75 + 0.55 * night - 0.25 * rush +
+                    0.002 * row.location;  // mild location correlation
+  row.distance = rng->LogNormal(mu, 0.62);
+  // Duration correlates with distance and congestion.
+  const double speed_kmh = 12.0 + 14.0 * night - 4.0 * rush +
+                           rng->UniformDouble(-2.0, 2.0);
+  const double duration_s =
+      row.distance / std::max(speed_kmh, 5.0) * 3600.0 +
+      rng->UniformDouble(60.0, 300.0);
+  double drop = row.pickup_time + duration_s;
+  row.dropoff_date = row.pickup_date;
+  if (drop >= kSecondsPerDay) {
+    drop -= kSecondsPerDay;
+    row.dropoff_date += 1.0;
+  }
+  row.dropoff_time = drop;
+  return row;
+}
+
+}  // namespace
+
+Dataset MakeIntelLike(size_t n, uint64_t seed) {
+  Dataset data("light", {"time"});
+  data.Reserve(n);
+  Rng rng(seed);
+  // ~36 diurnal cycles across the trace, like a month of sensor readings.
+  const double period = static_cast<double>(n) / 36.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(i) / std::max(period, 2.0);
+    const double sun = std::sin(phase);
+    double light;
+    if (sun > 0.15) {
+      // Daylight: heavy-tailed readings with occasional direct-sun spikes.
+      light = sun * 420.0 * rng.LogNormal(0.0, 0.35);
+      if (rng.Bernoulli(0.01)) light += rng.UniformDouble(500.0, 1500.0);
+    } else {
+      // Night: near-zero with faint fluorescent flicker.
+      light = rng.UniformDouble(0.0, 3.0);
+    }
+    data.AddRow({static_cast<double>(i)}, light);
+  }
+  return data;
+}
+
+Dataset MakeInstacartLike(size_t n, uint64_t seed, size_t num_products) {
+  Dataset data("reordered", {"product_id"});
+  data.Reserve(n);
+  Rng rng(seed);
+  const ZipfTable zipf(num_products, 1.05);
+  // Per-product reorder propensity derived from a cheap product hash so the
+  // aggregate correlates with the predicate (as the real data does).
+  auto reorder_prob = [](uint64_t product) {
+    uint64_t h = product * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    return 0.15 + 0.7 * static_cast<double>(h % 1000) / 1000.0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t product = zipf.Sample(&rng);
+    const double reordered = rng.Bernoulli(reorder_prob(product)) ? 1.0 : 0.0;
+    data.AddRow({static_cast<double>(product)}, reordered);
+  }
+  return data;
+}
+
+Dataset MakeTaxiLike(size_t n, uint64_t seed) {
+  Dataset data("trip_distance", {"pickup_time", "pickup_date",
+                                 "pu_location_id", "dropoff_date",
+                                 "dropoff_time"});
+  data.Reserve(n);
+  Rng rng(seed);
+  const ZipfTable zipf(263, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const TaxiRow row = MakeTaxiRow(&rng, zipf);
+    data.AddRow({row.pickup_time, row.pickup_date, row.location,
+                 row.dropoff_date, row.dropoff_time},
+                row.distance);
+  }
+  return data;
+}
+
+Dataset MakeTaxiDatetime(size_t n, uint64_t seed) {
+  Dataset data("trip_distance", {"pickup_datetime"});
+  data.Reserve(n);
+  Rng rng(seed);
+  const ZipfTable zipf(263, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const TaxiRow row = MakeTaxiRow(&rng, zipf);
+    const double datetime = row.pickup_date * kSecondsPerDay + row.pickup_time;
+    data.AddRow({datetime}, row.distance);
+  }
+  return data;
+}
+
+Dataset MakeAdversarial(size_t n, uint64_t seed, double mean, double stddev) {
+  Dataset data("value", {"key"});
+  data.Reserve(n);
+  Rng rng(seed);
+  const size_t zeros = n - n / 8;  // first 7/8 of the domain is silent
+  for (size_t i = 0; i < n; ++i) {
+    const double value = i < zeros ? 0.0 : rng.Normal(mean, stddev);
+    data.AddRow({static_cast<double>(i)}, value);
+  }
+  return data;
+}
+
+Dataset MakeLineitemLike(size_t n, uint64_t seed) {
+  Dataset data("extendedprice", {"shipdate", "discount", "quantity"});
+  data.Reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    // 7 years of ship dates with mild seasonality.
+    double day = rng.UniformDouble(0.0, 2555.0);
+    const double season = std::sin(2.0 * M_PI * day / 365.25);
+    if (season > 0 && rng.Bernoulli(0.25 * season)) {
+      day = std::min(2554.0, day + rng.UniformDouble(0.0, 20.0));
+    }
+    const double quantity = static_cast<double>(rng.UniformInt(1, 50));
+    const double discount =
+        std::round(rng.UniformDouble(0.0, 0.10) * 100.0) / 100.0;
+    const double unit_price = rng.LogNormal(6.8, 0.4);  // ~900 +- heavy tail
+    const double price = quantity * unit_price;
+    data.AddRow({std::floor(day), discount, quantity}, price);
+  }
+  return data;
+}
+
+Dataset MakeUniform(size_t n, uint64_t seed, double lo, double hi) {
+  Dataset data("value", {"key"});
+  data.Reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    data.AddRow({rng.UniformDouble()}, rng.UniformDouble(lo, hi));
+  }
+  return data;
+}
+
+}  // namespace pass

@@ -1,0 +1,106 @@
+#include "data/workload.h"
+#include <cmath>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "partition/max_variance.h"
+#include "partition/variance.h"
+#include "stats/prefix_sums.h"
+#include "stats/sampling.h"
+
+namespace pass {
+namespace {
+
+std::vector<size_t> EffectiveTemplateDims(const Dataset& data,
+                                          const WorkloadOptions& options) {
+  if (!options.template_dims.empty()) return options.template_dims;
+  (void)data;
+  return {0};
+}
+
+}  // namespace
+
+std::vector<Query> RandomRangeQueries(const Dataset& data,
+                                      const WorkloadOptions& options) {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumPredDims();
+  const std::vector<size_t> dims = EffectiveTemplateDims(data, options);
+  Rng rng(options.seed);
+  std::vector<Query> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    Query q;
+    q.agg = options.agg;
+    q.predicate = Rect::All(d);
+    const size_t anchor = static_cast<size_t>(rng.Below(n));
+    for (const size_t dim : dims) {
+      const double v1 =
+          options.anchored
+              ? data.pred(dim, anchor)
+              : data.pred(dim, static_cast<size_t>(rng.Below(n)));
+      const double v2 = data.pred(dim, static_cast<size_t>(rng.Below(n)));
+      q.predicate.dim(dim) = Interval{std::min(v1, v2), std::max(v1, v2)};
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Query> ChallengingQueries(const Dataset& data, size_t dim,
+                                      const WorkloadOptions& options,
+                                      size_t opt_sample_size, double delta) {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumPredDims();
+  Rng rng(options.seed ^ 0xC4A11E6Eull);
+
+  // Locate the max-variance interval with the fast discretization method
+  // over the whole domain treated as a single partition.
+  const std::vector<uint32_t> perm = data.SortedPermutation(dim);
+  const auto& col = data.pred_column(dim);
+  const size_t m = std::min(opt_sample_size, n);
+  const std::vector<size_t> picks = SampleWithoutReplacement(n, m, &rng);
+  std::vector<double> sample_pred(m);
+  std::vector<double> sample_agg(m);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t row = perm[picks[i]];
+    sample_pred[i] = col[row];
+    sample_agg[i] = data.agg(row);
+  }
+  const PrefixSums prefix(sample_agg);
+  const double ratio = static_cast<double>(n) / static_cast<double>(m);
+  const SampleVariance var(&prefix, ratio);
+
+  MaxVarQuery hot;
+  if (options.agg == AggregateType::kAvg) {
+    const size_t window = std::max<size_t>(
+        1,
+        static_cast<size_t>(std::llround(delta * static_cast<double>(m))));
+    const AvgWindowOracle oracle(&prefix, window);
+    hot = oracle.Query(0, m);
+  } else {
+    hot = MedianSplitMaxVariance(var, options.agg, 0, m);
+  }
+  if (hot.end <= hot.begin) {  // degenerate: fall back to the full domain
+    hot.begin = 0;
+    hot.end = m;
+  }
+  const double hot_lo = sample_pred[hot.begin];
+  const double hot_hi = sample_pred[hot.end - 1];
+
+  // Random queries inside the hot interval.
+  std::vector<Query> out;
+  out.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    const double v1 = rng.UniformDouble(hot_lo, hot_hi);
+    const double v2 = rng.UniformDouble(hot_lo, hot_hi);
+    Query q;
+    q.agg = options.agg;
+    q.predicate = Rect::All(d);
+    q.predicate.dim(dim) = Interval{std::min(v1, v2), std::max(v1, v2)};
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace pass

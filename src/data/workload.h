@@ -1,0 +1,43 @@
+#ifndef PASS_DATA_WORKLOAD_H_
+#define PASS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// Workload generators for the paper's experiments (Section 5): random
+/// range queries and "challenging" queries concentrated in the
+/// max-variance region.
+
+struct WorkloadOptions {
+  AggregateType agg = AggregateType::kSum;
+  size_t count = 2000;
+  /// Predicate dimensions the queries constrain; the rest stay unbounded.
+  /// Empty = just dimension 0.
+  std::vector<size_t> template_dims;
+  /// When true, every query is anchored on a random data row, so it is
+  /// guaranteed non-empty (important for high-dimensional templates).
+  bool anchored = true;
+  uint64_t seed = 7;
+};
+
+/// Random rectangular queries with endpoints drawn from the data's own
+/// values ("2000 random queries", Section 5.2).
+std::vector<Query> RandomRangeQueries(const Dataset& data,
+                                      const WorkloadOptions& options);
+
+/// Challenging queries (Section 5.3): locate the maximum-variance interval
+/// on predicate dimension `dim` with the fast discretization oracle, then
+/// draw random sub-queries inside it.
+std::vector<Query> ChallengingQueries(const Dataset& data, size_t dim,
+                                      const WorkloadOptions& options,
+                                      size_t opt_sample_size = 10'000,
+                                      double delta = 0.005);
+
+}  // namespace pass
+
+#endif  // PASS_DATA_WORKLOAD_H_

@@ -1,0 +1,19 @@
+#include "geom/rect.h"
+
+#include <cstdio>
+
+namespace pass {
+
+std::string Rect::ToString() const {
+  std::string out = "{";
+  char buf[96];
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%.6g, %.6g]", i == 0 ? "" : " x ",
+                  dims_[i].lo, dims_[i].hi);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pass

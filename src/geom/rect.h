@@ -1,0 +1,128 @@
+#ifndef PASS_GEOM_RECT_H_
+#define PASS_GEOM_RECT_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// A closed interval [lo, hi] on one predicate column. An interval with
+/// lo > hi is empty.
+struct Interval {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  static Interval All() {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+
+  bool Empty() const { return lo > hi; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  bool ContainsInterval(const Interval& other) const {
+    return other.Empty() || (lo <= other.lo && other.hi <= hi);
+  }
+  bool Intersects(const Interval& other) const {
+    return !Empty() && !other.Empty() && lo <= other.hi && other.lo <= hi;
+  }
+  /// Grows the interval to include x.
+  void Expand(double x) {
+    if (x < lo) lo = x;
+    if (x > hi) hi = x;
+  }
+  void ExpandToInclude(const Interval& other) {
+    if (other.Empty()) return;
+    Expand(other.lo);
+    Expand(other.hi);
+  }
+  double Length() const { return Empty() ? 0.0 : hi - lo; }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// An axis-aligned box over d predicate columns: the partitioning-condition
+/// shape used throughout the paper ("rectangular partitioning conditions
+/// x_i <= C_i <= y_i", Section 3.1), and also the query predicate shape.
+class Rect {
+ public:
+  Rect() = default;
+  explicit Rect(size_t dims) : dims_(dims) {}
+  explicit Rect(std::vector<Interval> dims) : dims_(std::move(dims)) {}
+
+  /// The whole space in d dimensions (every interval unbounded).
+  static Rect All(size_t d) {
+    Rect r(d);
+    for (auto& iv : r.dims_) iv = Interval::All();
+    return r;
+  }
+
+  size_t NumDims() const { return dims_.size(); }
+  bool Empty() const {
+    for (const auto& iv : dims_) {
+      if (iv.Empty()) return true;
+    }
+    return dims_.empty();
+  }
+
+  Interval& dim(size_t i) {
+    PASS_DCHECK(i < dims_.size());
+    return dims_[i];
+  }
+  const Interval& dim(size_t i) const {
+    PASS_DCHECK(i < dims_.size());
+    return dims_[i];
+  }
+
+  /// True iff this rect fully contains `other` in every dimension.
+  bool ContainsRect(const Rect& other) const {
+    PASS_DCHECK(NumDims() == other.NumDims());
+    if (other.Empty()) return true;
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (!dims_[i].ContainsInterval(other.dims_[i])) return false;
+    }
+    return true;
+  }
+
+  /// True iff the rects overlap in every dimension.
+  bool Intersects(const Rect& other) const {
+    PASS_DCHECK(NumDims() == other.NumDims());
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (!dims_[i].Intersects(other.dims_[i])) return false;
+    }
+    return !dims_.empty();
+  }
+
+  /// Point membership given one coordinate per dimension.
+  bool ContainsPoint(const std::vector<double>& point) const {
+    PASS_DCHECK(point.size() == dims_.size());
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (!dims_[i].Contains(point[i])) return false;
+    }
+    return true;
+  }
+
+  void ExpandToInclude(const Rect& other) {
+    PASS_DCHECK(NumDims() == other.NumDims());
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      dims_[i].ExpandToInclude(other.dims_[i]);
+    }
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<Interval> dims_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_GEOM_RECT_H_

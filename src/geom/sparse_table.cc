@@ -1,0 +1,36 @@
+#include "geom/sparse_table.h"
+
+#include <utility>
+
+namespace pass {
+
+SparseTableMax::SparseTableMax(std::vector<double> values)
+    : values_(std::move(values)) {
+  const size_t n = values_.size();
+  if (n == 0) return;
+  log2_.resize(n + 1, 0);
+  for (size_t i = 2; i <= n; ++i) log2_[i] = log2_[i / 2] + 1;
+  const size_t levels = log2_[n] + 1;
+  table_.resize(levels);
+  table_[0].resize(n);
+  for (size_t i = 0; i < n; ++i) table_[0][i] = i;
+  for (size_t j = 1; j < levels; ++j) {
+    const size_t len = size_t{1} << j;
+    table_[j].resize(n - len + 1);
+    for (size_t i = 0; i + len <= n; ++i) {
+      const size_t a = table_[j - 1][i];
+      const size_t b = table_[j - 1][i + len / 2];
+      table_[j][i] = values_[b] > values_[a] ? b : a;
+    }
+  }
+}
+
+size_t SparseTableMax::ArgMax(size_t begin, size_t end) const {
+  PASS_CHECK(begin < end && end <= values_.size());
+  const size_t j = log2_[end - begin];
+  const size_t a = table_[j][begin];
+  const size_t b = table_[j][end - (size_t{1} << j)];
+  return values_[b] > values_[a] ? b : a;
+}
+
+}  // namespace pass

@@ -1,0 +1,46 @@
+#ifndef PASS_GEOM_SPARSE_TABLE_H_
+#define PASS_GEOM_SPARSE_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// Static range-argmax structure (sparse table): O(n log n) build, O(1)
+/// query. Backs the ADP optimizer's AVG oracle — "store them in a binary
+/// search tree ... return the length-δm query with the maximum variance in
+/// O(log m) time" (Section 4.3.1); a sparse table gives the same answers in
+/// O(1) per lookup.
+class SparseTableMax {
+ public:
+  SparseTableMax() = default;
+  explicit SparseTableMax(std::vector<double> values);
+
+  size_t size() const { return values_.size(); }
+
+  /// Index of the maximum over [begin, end); ties broken toward the lower
+  /// index. Requires begin < end <= size().
+  size_t ArgMax(size_t begin, size_t end) const;
+
+  /// Maximum value over [begin, end).
+  double Max(size_t begin, size_t end) const {
+    return values_[ArgMax(begin, end)];
+  }
+
+  double value(size_t i) const {
+    PASS_DCHECK(i < values_.size());
+    return values_[i];
+  }
+
+ private:
+  std::vector<double> values_;
+  // table_[j][i] = argmax over [i, i + 2^j)
+  std::vector<std::vector<size_t>> table_;
+  std::vector<size_t> log2_;  // floor(log2(i)) for i in [1, n]
+};
+
+}  // namespace pass
+
+#endif  // PASS_GEOM_SPARSE_TABLE_H_

@@ -1,0 +1,35 @@
+#ifndef PASS_HARNESS_TABLE_PRINTER_H_
+#define PASS_HARNESS_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pass {
+
+/// Fixed-width text table used by every bench binary to print the same
+/// rows/series the paper's tables and figures report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers shared by the benches.
+std::string FormatPercent(double fraction, int precision = 3);
+std::string FormatDouble(double value, int precision = 3);
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace pass
+
+#endif  // PASS_HARNESS_TABLE_PRINTER_H_

@@ -1,0 +1,41 @@
+#ifndef PASS_PARTITION_BUILDER_H_
+#define PASS_PARTITION_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/synopsis.h"
+#include "partition/build_options.h"
+#include "partition/hierarchy.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// The partitioning half of a build, exposed separately so baselines
+/// (KD-US, AQP++) can reuse PASS partitionings without stratified samples.
+struct PartitionBuildResult {
+  PartitionTree tree;
+  std::vector<uint32_t> perm;
+  std::vector<RowSlice> leaf_slices;  // indexed by leaf_id
+};
+
+/// Runs only the partitioning optimizer (Section 4) and the bottom-up
+/// aggregate hierarchy.
+Result<PartitionBuildResult> BuildPartitionOnly(const Dataset& data,
+                                                const BuildOptions& options);
+
+/// Draws the per-leaf stratified samples under the configured budget and
+/// allocation policy. `leaf_slices` must be indexed by leaf_id.
+std::vector<StratifiedSample> DrawLeafSamples(
+    const Dataset& data, const std::vector<uint32_t>& perm,
+    const std::vector<RowSlice>& leaf_slices, const PartitionTree& tree,
+    const BuildOptions& options);
+
+/// One-stop construction of a PASS synopsis (Figure 2): optimize the
+/// partitioning, stack the aggregate hierarchy, attach stratified samples.
+Result<Synopsis> BuildSynopsis(const Dataset& data,
+                               const BuildOptions& options);
+
+}  // namespace pass
+
+#endif  // PASS_PARTITION_BUILDER_H_

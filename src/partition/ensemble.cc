@@ -1,0 +1,84 @@
+#include "partition/ensemble.h"
+
+#include <algorithm>
+
+namespace pass {
+
+void SynopsisEnsemble::Add(Synopsis synopsis,
+                           std::vector<size_t> partition_dims) {
+  PASS_CHECK_MSG(!partition_dims.empty(),
+                 "ensemble members need explicit partition dims");
+  if (!members_.empty()) {
+    PASS_CHECK_MSG(members_[0].synopsis->NumRows() == synopsis.NumRows(),
+                   "ensemble members must summarize the same dataset");
+  }
+  Member member;
+  member.synopsis = std::make_unique<Synopsis>(std::move(synopsis));
+  member.dims = std::move(partition_dims);
+  members_.push_back(std::move(member));
+}
+
+size_t SynopsisEnsemble::RouteIndex(const Rect& predicate) const {
+  PASS_CHECK_MSG(!members_.empty(), "empty ensemble");
+  // Constrained dims: any interval tighter than the whole axis.
+  std::vector<char> constrained(predicate.NumDims(), 0);
+  for (size_t d = 0; d < predicate.NumDims(); ++d) {
+    constrained[d] = !(predicate.dim(d) == Interval::All());
+  }
+  size_t best = 0;
+  int best_score = INT_MIN;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    int score = 0;
+    for (const size_t dim : members_[i].dims) {
+      score += (dim < constrained.size() && constrained[dim]) ? 2 : -1;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+QueryAnswer SynopsisEnsemble::Answer(const Query& query) const {
+  return members_[RouteIndex(query.predicate)].synopsis->Answer(query);
+}
+
+SystemCosts SynopsisEnsemble::Costs() const {
+  SystemCosts total;
+  for (const Member& member : members_) {
+    const SystemCosts c = member.synopsis->Costs();
+    total.build_seconds += c.build_seconds;
+    total.storage_bytes += c.storage_bytes;
+  }
+  return total;
+}
+
+Result<SynopsisEnsemble> BuildEnsemble(
+    const Dataset& data, const std::vector<std::vector<size_t>>& templates,
+    BuildOptions base) {
+  if (templates.empty()) {
+    return Status::InvalidArgument("ensemble needs at least one template");
+  }
+  // Split the sampling budget evenly across members.
+  const size_t total_budget = base.sample_budget.value_or(
+      static_cast<size_t>(base.sample_rate *
+                          static_cast<double>(data.NumRows())));
+  SynopsisEnsemble ensemble;
+  for (size_t i = 0; i < templates.size(); ++i) {
+    BuildOptions options = base;
+    options.partition_dims = templates[i];
+    options.sample_budget = std::max<size_t>(1, total_budget /
+                                                    templates.size());
+    options.seed = base.seed + i * 7919;
+    if (templates[i].size() > 1) {
+      options.strategy = PartitionStrategy::kKdGreedy;
+    }
+    Result<Synopsis> member = BuildSynopsis(data, options);
+    if (!member.ok()) return member.status();
+    ensemble.Add(std::move(member).value(), templates[i]);
+  }
+  return ensemble;
+}
+
+}  // namespace pass

@@ -1,0 +1,148 @@
+#include "partition/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace pass {
+
+AggregateStats ComputeSliceStats(const Dataset& data,
+                                 const std::vector<uint32_t>& perm,
+                                 const RowSlice& slice) {
+  AggregateStats stats;
+  for (size_t i = slice.first; i < slice.second; ++i) {
+    stats.Add(data.agg(perm[i]));
+  }
+  return stats;
+}
+
+Rect ComputeSliceBounds(const Dataset& data, const std::vector<uint32_t>& perm,
+                        const RowSlice& slice) {
+  const size_t d = data.NumPredDims();
+  Rect bounds(d);
+  for (size_t dim = 0; dim < d; ++dim) {
+    const auto& col = data.pred_column(dim);
+    Interval& iv = bounds.dim(dim);
+    for (size_t i = slice.first; i < slice.second; ++i) {
+      iv.Expand(col[perm[i]]);
+    }
+  }
+  return bounds;
+}
+
+size_t SnapToValueChange(const std::vector<double>& column,
+                         const std::vector<uint32_t>& perm, size_t pos) {
+  const size_t n = perm.size();
+  if (pos == 0 || pos >= n) return std::min(pos, n);
+  auto changes_at = [&](size_t p) {
+    return column[perm[p - 1]] < column[perm[p]];
+  };
+  if (changes_at(pos)) return pos;
+  // Search outward for the nearest valid position.
+  for (size_t delta = 1; delta < n; ++delta) {
+    if (pos >= delta) {
+      const size_t left = pos - delta;
+      if (left == 0 || changes_at(left)) return left;
+    }
+    const size_t right = pos + delta;
+    if (right >= n) return n;
+    if (changes_at(right)) return right;
+  }
+  return n;
+}
+
+PartitionTree BuildHierarchyFrom1DCuts(const Dataset& data,
+                                       const std::vector<uint32_t>& perm,
+                                       const std::vector<size_t>& cuts,
+                                       size_t partition_dim, size_t fanout,
+                                       std::vector<RowSlice>* leaf_slices) {
+  PASS_CHECK(leaf_slices != nullptr);
+  PASS_CHECK(fanout >= 2);
+  PASS_CHECK(cuts.size() >= 2 && cuts.front() == 0 &&
+             cuts.back() == perm.size());
+  const size_t d = data.NumPredDims();
+  const auto& col = data.pred_column(partition_dim);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  PartitionTree tree;
+  std::vector<RowSlice> node_slices;  // parallel to node ids
+  std::vector<int32_t> level;         // current level, left to right
+
+  // Leaves.
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const RowSlice slice{cuts[i], cuts[i + 1]};
+    PASS_CHECK_MSG(slice.first < slice.second, "empty partition slice");
+    PartitionTree::Node node;
+    node.stats = ComputeSliceStats(data, perm, slice);
+    node.data_bounds = ComputeSliceBounds(data, perm, slice);
+    node.condition = Rect::All(d);
+    Interval& iv = node.condition.dim(partition_dim);
+    iv.lo = (i == 0) ? -kInf
+                     : std::nextafter(col[perm[cuts[i] - 1]], kInf);
+    iv.hi = (i + 2 == cuts.size()) ? kInf : col[perm[cuts[i + 1] - 1]];
+    const int32_t id = tree.AddNode(std::move(node));
+    node_slices.push_back(slice);
+    level.push_back(id);
+  }
+
+  // Stack internal levels bottom-up, grouping `fanout` consecutive nodes.
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t i = 0; i < level.size(); i += fanout) {
+      const size_t group_end = std::min(i + fanout, level.size());
+      if (group_end - i == 1 && !next.empty()) {
+        // A lone trailing node: attach it to the previous parent instead of
+        // creating a chain of unary nodes.
+        const int32_t parent = next.back();
+        const int32_t child = level[i];
+        tree.AddChild(parent, child);
+        PartitionTree::Node& p = tree.mutable_node(parent);
+        p.stats.Merge(tree.node(child).stats);
+        p.data_bounds.ExpandToInclude(tree.node(child).data_bounds);
+        p.condition.dim(partition_dim).ExpandToInclude(
+            tree.node(child).condition.dim(partition_dim));
+        node_slices[static_cast<size_t>(parent)].second =
+            node_slices[static_cast<size_t>(child)].second;
+        continue;
+      }
+      PartitionTree::Node parent_node;
+      parent_node.condition = Rect::All(d);
+      parent_node.condition.dim(partition_dim) = Interval{};  // empty; grown
+      const int32_t parent = tree.AddNode(std::move(parent_node));
+      RowSlice parent_slice{node_slices[static_cast<size_t>(level[i])].first,
+                            node_slices[static_cast<size_t>(level[i])].first};
+      Rect bounds(d);
+      AggregateStats stats;
+      for (size_t g = i; g < group_end; ++g) {
+        const int32_t child = level[g];
+        tree.AddChild(parent, child);
+        stats.Merge(tree.node(child).stats);
+        bounds.ExpandToInclude(tree.node(child).data_bounds);
+        tree.mutable_node(parent).condition.dim(partition_dim)
+            .ExpandToInclude(tree.node(child).condition.dim(partition_dim));
+        parent_slice.second = node_slices[static_cast<size_t>(child)].second;
+      }
+      PartitionTree::Node& p = tree.mutable_node(parent);
+      p.stats = stats;
+      p.data_bounds = bounds;
+      node_slices.push_back(parent_slice);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+
+  tree.SetRoot(level.front());
+  tree.mutable_node(level.front()).condition = Rect::All(d);
+  tree.FinalizeLeaves();
+
+  leaf_slices->assign(tree.NumLeaves(), RowSlice{0, 0});
+  for (size_t leaf_id = 0; leaf_id < tree.NumLeaves(); ++leaf_id) {
+    const int32_t node_id = tree.leaves()[leaf_id];
+    (*leaf_slices)[leaf_id] = node_slices[static_cast<size_t>(node_id)];
+  }
+  return tree;
+}
+
+}  // namespace pass

@@ -1,0 +1,54 @@
+#ifndef PASS_PARTITION_HIERARCHY_H_
+#define PASS_PARTITION_HIERARCHY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate_stats.h"
+#include "core/partition_tree.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// A contiguous slice of a row permutation: the build-time identity of a
+/// partition.
+using RowSlice = std::pair<size_t, size_t>;  // [begin, end)
+
+/// Aggregates of the rows in permutation[begin, end).
+AggregateStats ComputeSliceStats(const Dataset& data,
+                                 const std::vector<uint32_t>& perm,
+                                 const RowSlice& slice);
+
+/// Tight bounding box over *all* predicate columns of the rows in the
+/// slice (the synopsis always keeps bounds in the full predicate space so
+/// queries over non-partitioned columns — workload shift — still classify
+/// correctly).
+Rect ComputeSliceBounds(const Dataset& data, const std::vector<uint32_t>& perm,
+                        const RowSlice& slice);
+
+/// Snaps a cut position in the sorted permutation to the nearest position
+/// where the predicate value actually changes, so a partition boundary
+/// never splits a run of duplicate values (which would make the
+/// partitioning conditions ambiguous). Returns a position in [0, n].
+size_t SnapToValueChange(const std::vector<double>& column,
+                         const std::vector<uint32_t>& perm, size_t pos);
+
+/// Builds the PASS aggregate hierarchy over 1-D leaf partitions: leaves are
+/// created from the cut positions, then stacked into a balanced tree of the
+/// given fanout with bottom-up aggregation (Section 4.1: "construct the
+/// full tree with a bottom-up aggregation"). Edge conditions are widened to
+/// +-infinity so inserted rows always route to a leaf.
+///
+/// `cuts` are ascending positions into `perm` with cuts.front() == 0 and
+/// cuts.back() == N; they must already be snapped to value changes.
+/// On return, `leaf_slices`[leaf_id] gives each leaf's slice of `perm`.
+PartitionTree BuildHierarchyFrom1DCuts(const Dataset& data,
+                                       const std::vector<uint32_t>& perm,
+                                       const std::vector<size_t>& cuts,
+                                       size_t partition_dim, size_t fanout,
+                                       std::vector<RowSlice>* leaf_slices);
+
+}  // namespace pass
+
+#endif  // PASS_PARTITION_HIERARCHY_H_

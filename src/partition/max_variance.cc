@@ -1,0 +1,85 @@
+#include "partition/max_variance.h"
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+MaxVarQuery ExactMaxVariance(const SampleVariance& var, AggregateType agg,
+                             size_t p_begin, size_t p_end, size_t min_query) {
+  MaxVarQuery best;
+  best.begin = p_begin;
+  best.end = p_begin;
+  if (min_query == 0) min_query = 1;
+  for (size_t b = p_begin; b < p_end; ++b) {
+    for (size_t e = b + min_query; e <= p_end; ++e) {
+      const double v = var.Variance(agg, p_begin, p_end, b, e);
+      if (v > best.variance) {
+        best.variance = v;
+        best.begin = b;
+        best.end = e;
+      }
+    }
+  }
+  return best;
+}
+
+MaxVarQuery MedianSplitMaxVariance(const SampleVariance& var,
+                                   AggregateType agg, size_t p_begin,
+                                   size_t p_end) {
+  MaxVarQuery best;
+  best.begin = p_begin;
+  best.end = p_begin;
+  if (p_end - p_begin < 2) return best;
+  const size_t mid = p_begin + (p_end - p_begin) / 2;
+  const double left = var.Variance(agg, p_begin, p_end, p_begin, mid);
+  const double right = var.Variance(agg, p_begin, p_end, mid, p_end);
+  if (left >= right) {
+    best.begin = p_begin;
+    best.end = mid;
+    best.variance = left;
+  } else {
+    best.begin = mid;
+    best.end = p_end;
+    best.variance = right;
+  }
+  return best;
+}
+
+AvgWindowOracle::AvgWindowOracle(const PrefixSums* prefix, size_t window)
+    : prefix_(prefix), window_(window == 0 ? 1 : window) {
+  const size_t m = prefix_->size();
+  // wss[i] = sum of squares over the window ending at index i + window - 1,
+  // i.e. the window [i, i + window).
+  if (m >= window_) {
+    std::vector<double> wss(m - window_ + 1);
+    for (size_t i = 0; i + window_ <= m; ++i) {
+      wss[i] = prefix_->SumSq(i, i + window_);
+    }
+    table_ = SparseTableMax(std::move(wss));
+  }
+}
+
+MaxVarQuery AvgWindowOracle::Query(size_t p_begin, size_t p_end) const {
+  MaxVarQuery best;
+  best.begin = p_begin;
+  best.end = p_begin;
+  const size_t n_i = p_end - p_begin;
+  if (n_i < 2 * window_ || table_.size() == 0) return best;
+  // Windows fully inside the partition start anywhere in
+  // [p_begin, p_end - window].
+  const size_t lo = p_begin;
+  const size_t hi = p_end - window_ + 1;  // exclusive end of start indices
+  PASS_DCHECK(hi <= table_.size());
+  const size_t start = table_.ArgMax(lo, hi);
+  best.begin = start;
+  best.end = start + window_;
+  const double n = static_cast<double>(n_i);
+  const double w = static_cast<double>(window_);
+  best.variance =
+      prefix_->SpreadStat(best.begin, best.end, n) / (n * w * w);
+  return best;
+}
+
+}  // namespace pass

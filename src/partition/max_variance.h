@@ -1,0 +1,57 @@
+#ifndef PASS_PARTITION_MAX_VARIANCE_H_
+#define PASS_PARTITION_MAX_VARIANCE_H_
+
+#include <cstddef>
+
+#include "geom/sparse_table.h"
+#include "partition/variance.h"
+
+namespace pass {
+
+/// A candidate max-variance query inside one partition: the M(.) oracle's
+/// output (Section 4.3).
+struct MaxVarQuery {
+  size_t begin = 0;
+  size_t end = 0;
+  double variance = 0.0;
+};
+
+/// Exact M(i1, i2): maximum variance over *all* sub-ranges of the partition
+/// with at least `min_query` elements. O((i2-i1)^2) — tests and the naive
+/// DP only.
+MaxVarQuery ExactMaxVariance(const SampleVariance& var, AggregateType agg,
+                             size_t p_begin, size_t p_end, size_t min_query);
+
+/// The discretized SUM/COUNT oracle (Lemma A.3): split the partition at the
+/// median element and return the larger-variance half. Guaranteed within a
+/// factor 4 of the exact maximum. O(1).
+MaxVarQuery MedianSplitMaxVariance(const SampleVariance& var,
+                                   AggregateType agg, size_t p_begin,
+                                   size_t p_end);
+
+/// The discretized AVG oracle (Lemma A.5): the max-variance AVG query spans
+/// fewer than 2*window elements (Lemma A.4), so it suffices to examine
+/// fixed-length windows of `window` elements. Build once per sorted sample
+/// (O(m log m)), then query any partition in O(1) via a sparse table over
+/// per-endpoint window sums of squares. Within a factor 4 of exact.
+class AvgWindowOracle {
+ public:
+  /// `window` is δ·m in the paper's notation (>= 1).
+  AvgWindowOracle(const PrefixSums* prefix, size_t window);
+
+  /// Max-variance AVG query inside [p_begin, p_end). Partitions smaller
+  /// than 2*window report variance 0 (the paper's convention: meaningful
+  /// queries cannot fit).
+  MaxVarQuery Query(size_t p_begin, size_t p_end) const;
+
+  size_t window() const { return window_; }
+
+ private:
+  const PrefixSums* prefix_;
+  size_t window_;
+  SparseTableMax table_;  // indexed by (right endpoint - window + 1)
+};
+
+}  // namespace pass
+
+#endif  // PASS_PARTITION_MAX_VARIANCE_H_

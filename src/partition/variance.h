@@ -1,0 +1,81 @@
+#ifndef PASS_PARTITION_VARIANCE_H_
+#define PASS_PARTITION_VARIANCE_H_
+
+#include <cstddef>
+
+#include "core/query.h"
+#include "stats/prefix_sums.h"
+
+namespace pass {
+
+/// Single-partition query variance formulas from Section 4.2.1 / Appendix
+/// A.2 of the paper, evaluated over a *sorted optimization sample* with
+/// O(1) prefix-sum lookups.
+///
+/// Index convention: the sample is sorted by predicate value; a partition
+/// is a half-open index range [p_begin, p_end); a candidate query is a
+/// sub-range [q_begin, q_end) of the partition.
+///
+/// `ratio` is N/m — the assumed constant population-to-sample ratio of
+/// Appendix A.1 (so N_i = ratio * n_i for every partition considered).
+///
+/// * SUM:   V = ratio^2 / n_i * (n_i * Σ_q t²  - (Σ_q t)²)
+/// * COUNT: the SUM formula with t_h = 1
+/// * AVG:   V = 1 / (n_i * |q|²) * (n_i * Σ_q t² - (Σ_q t)²)
+class SampleVariance {
+ public:
+  /// `agg_prefix` must be prefix sums over the aggregate values of the
+  /// sorted sample. For COUNT pass prefix sums over all-ones values (or
+  /// use CountVariance below which needs no prefix data).
+  SampleVariance(const PrefixSums* agg_prefix, double ratio)
+      : prefix_(agg_prefix), ratio_(ratio) {}
+
+  double SumVariance(size_t p_begin, size_t p_end, size_t q_begin,
+                     size_t q_end) const {
+    const double n_i = static_cast<double>(p_end - p_begin);
+    if (n_i <= 0.0) return 0.0;
+    return ratio_ * ratio_ / n_i * prefix_->SpreadStat(q_begin, q_end, n_i);
+  }
+
+  double AvgVariance(size_t p_begin, size_t p_end, size_t q_begin,
+                     size_t q_end) const {
+    const double n_i = static_cast<double>(p_end - p_begin);
+    const double q = static_cast<double>(q_end - q_begin);
+    if (n_i <= 0.0 || q <= 0.0) return 0.0;
+    return prefix_->SpreadStat(q_begin, q_end, n_i) / (n_i * q * q);
+  }
+
+  /// COUNT variance needs only the counts: V = ratio^2/n_i * (n_i*k - k²).
+  double CountVariance(size_t p_begin, size_t p_end, size_t q_begin,
+                       size_t q_end) const {
+    const double n_i = static_cast<double>(p_end - p_begin);
+    const double k = static_cast<double>(q_end - q_begin);
+    if (n_i <= 0.0) return 0.0;
+    return ratio_ * ratio_ / n_i * (n_i * k - k * k);
+  }
+
+  double Variance(AggregateType agg, size_t p_begin, size_t p_end,
+                  size_t q_begin, size_t q_end) const {
+    switch (agg) {
+      case AggregateType::kSum:
+        return SumVariance(p_begin, p_end, q_begin, q_end);
+      case AggregateType::kCount:
+        return CountVariance(p_begin, p_end, q_begin, q_end);
+      case AggregateType::kAvg:
+        return AvgVariance(p_begin, p_end, q_begin, q_end);
+      default:
+        return 0.0;  // MIN/MAX have no sampling variance to optimize
+    }
+  }
+
+  double ratio() const { return ratio_; }
+  const PrefixSums& prefix() const { return *prefix_; }
+
+ private:
+  const PrefixSums* prefix_;
+  double ratio_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_PARTITION_VARIANCE_H_

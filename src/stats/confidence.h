@@ -1,0 +1,47 @@
+#ifndef PASS_STATS_CONFIDENCE_H_
+#define PASS_STATS_CONFIDENCE_H_
+
+#include <cmath>
+
+namespace pass {
+
+/// CLT-based confidence interval helpers (Section 2.1.1 of the paper).
+///
+/// An estimator is reported as `point ± lambda * sqrt(variance)` where
+/// lambda is the standard-normal quantile for the requested confidence
+/// level (1.96 for 95%, 2.576 for 99% — the paper's default).
+
+/// Common z-values. The paper uses lambda = 2.576 (99%) in all experiments.
+inline constexpr double kLambda90 = 1.645;
+inline constexpr double kLambda95 = 1.960;
+inline constexpr double kLambda99 = 2.576;
+
+/// Finite population correction factor (N-K)/(N-1) applied to the variance
+/// of a mean estimated from a without-replacement sample of size K out of N
+/// (footnote 1 in the paper). Returns 1 when it does not apply.
+inline double FinitePopulationCorrection(double population, double sample) {
+  if (population <= 1.0 || sample <= 0.0 || sample >= population) {
+    return population > 0.0 && sample >= population ? 0.0 : 1.0;
+  }
+  return (population - sample) / (population - 1.0);
+}
+
+/// A point estimate with its estimator variance. Half-width of the CI at a
+/// given lambda is lambda * sqrt(variance).
+struct Estimate {
+  double value = 0.0;
+  double variance = 0.0;
+
+  double HalfWidth(double lambda) const {
+    return lambda * std::sqrt(variance > 0.0 ? variance : 0.0);
+  }
+  double Lower(double lambda) const { return value - HalfWidth(lambda); }
+  double Upper(double lambda) const { return value + HalfWidth(lambda); }
+  bool Contains(double truth, double lambda) const {
+    return truth >= Lower(lambda) && truth <= Upper(lambda);
+  }
+};
+
+}  // namespace pass
+
+#endif  // PASS_STATS_CONFIDENCE_H_

@@ -1,0 +1,28 @@
+#include "stats/prefix_sums.h"
+
+namespace pass {
+
+PrefixSums::PrefixSums(const std::vector<double>& values) {
+  sum_.resize(values.size() + 1, 0.0);
+  sum_sq_.resize(values.size() + 1, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    sum_[i + 1] = sum_[i] + values[i];
+    sum_sq_[i + 1] = sum_sq_[i] + values[i] * values[i];
+  }
+}
+
+double PrefixSums::Variance(size_t begin, size_t end) const {
+  const size_t n = end - begin;
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double mean = Sum(begin, end) / dn;
+  const double var = SumSq(begin, end) / dn - mean * mean;
+  return var > 0.0 ? var : 0.0;
+}
+
+double PrefixSums::Mean(size_t begin, size_t end) const {
+  if (begin >= end) return 0.0;
+  return Sum(begin, end) / static_cast<double>(end - begin);
+}
+
+}  // namespace pass

@@ -1,0 +1,69 @@
+#ifndef PASS_STATS_PREFIX_SUMS_H_
+#define PASS_STATS_PREFIX_SUMS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// Prefix sums of a value sequence and of its squares. Supports O(1)
+/// range sum / sum-of-squares / variance queries over half-open index
+/// ranges [begin, end). This is the workhorse behind the optimizer's O(1)
+/// single-partition variance oracle (Section 4.3 of the paper: "the
+/// subquery variances are computed with pre-computed prefix sums").
+class PrefixSums {
+ public:
+  PrefixSums() = default;
+
+  /// Builds prefix sums over `values` (in the given order; callers sort by
+  /// predicate value first when range = contiguous predicate interval).
+  explicit PrefixSums(const std::vector<double>& values);
+
+  size_t size() const { return sum_.empty() ? 0 : sum_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Sum of values[begin..end).
+  double Sum(size_t begin, size_t end) const {
+    PASS_DCHECK(begin <= end && end <= size());
+    return sum_[end] - sum_[begin];
+  }
+
+  /// Sum of squared values over [begin, end).
+  double SumSq(size_t begin, size_t end) const {
+    PASS_DCHECK(begin <= end && end <= size());
+    return sum_sq_[end] - sum_sq_[begin];
+  }
+
+  /// Number of elements in [begin, end).
+  double Count(size_t begin, size_t end) const {
+    PASS_DCHECK(begin <= end && end <= size());
+    return static_cast<double>(end - begin);
+  }
+
+  /// Population variance of values[begin..end); 0 for ranges of size < 2.
+  /// Computed as E[x^2] - E[x]^2 with a clamp at 0 against cancellation.
+  double Variance(size_t begin, size_t end) const;
+
+  /// Mean of values[begin..end); 0 for empty ranges.
+  double Mean(size_t begin, size_t end) const;
+
+  /// The "spread statistic" n*Σt² − (Σt)² over [begin, end) that appears in
+  /// every V_i(q) formula of the paper (Appendix A.2), where n is an
+  /// externally supplied population/sample size.
+  double SpreadStat(size_t begin, size_t end, double n) const {
+    const double s = Sum(begin, end);
+    const double ss = SumSq(begin, end);
+    const double v = n * ss - s * s;
+    return v > 0.0 ? v : 0.0;
+  }
+
+ private:
+  std::vector<double> sum_;     // sum_[i] = values[0] + ... + values[i-1]
+  std::vector<double> sum_sq_;  // likewise for squares
+};
+
+}  // namespace pass
+
+#endif  // PASS_STATS_PREFIX_SUMS_H_

@@ -1,0 +1,33 @@
+#ifndef PASS_STATS_QUANTILE_H_
+#define PASS_STATS_QUANTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace pass {
+
+/// Quantile of a sample by linear interpolation between closest ranks
+/// (type-7, the numpy default). q in [0, 1]. Copies its input; the
+/// experiment harness calls this on small per-run vectors only.
+inline double Quantile(std::vector<double> values, double q) {
+  PASS_CHECK(!values.empty());
+  PASS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// Median (the paper's primary summary statistic for error metrics).
+inline double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+}  // namespace pass
+
+#endif  // PASS_STATS_QUANTILE_H_

@@ -1,0 +1,73 @@
+#ifndef PASS_STATS_RUNNING_STATS_H_
+#define PASS_STATS_RUNNING_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pass {
+
+/// Single-pass running moments (Welford's algorithm) plus extrema. Used for
+/// per-partition aggregate statistics and anywhere a numerically stable
+/// variance of a stream is needed.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (Chan et al. parallel formula).
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Population variance (divide by n); 0 when n < 2.
+  double PopulationVariance() const {
+    return count_ < 2 ? 0.0 : std::max(0.0, m2_ / static_cast<double>(count_));
+  }
+
+  /// Sample variance (divide by n-1); 0 when n < 2.
+  double SampleVariance() const {
+    return count_ < 2 ? 0.0
+                      : std::max(0.0, m2_ / static_cast<double>(count_ - 1));
+  }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace pass
+
+#endif  // PASS_STATS_RUNNING_STATS_H_

@@ -1,0 +1,34 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pass {
+
+std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k, Rng* rng) {
+  PASS_CHECK(rng != nullptr);
+  std::vector<size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(k);
+  // Floyd's algorithm: for j = n-k .. n-1, draw t in [0, j]; insert t unless
+  // already chosen, in which case insert j.
+  std::unordered_set<size_t> chosen;
+  chosen.reserve(k * 2);
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t = static_cast<size_t>(rng->Below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pass

@@ -1,0 +1,116 @@
+#include "storage/dataset.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace pass {
+
+Dataset::Dataset(std::string agg_name, std::vector<std::string> pred_names)
+    : agg_name_(std::move(agg_name)), pred_names_(std::move(pred_names)) {
+  PASS_CHECK_MSG(!pred_names_.empty(),
+                 "a dataset needs at least one predicate column");
+  pred_cols_.resize(pred_names_.size());
+}
+
+void Dataset::Reserve(size_t rows) {
+  agg_.reserve(rows);
+  for (auto& col : pred_cols_) col.reserve(rows);
+}
+
+void Dataset::AddRow(const std::vector<double>& preds, double agg) {
+  PASS_CHECK(preds.size() == pred_cols_.size());
+  for (size_t i = 0; i < preds.size(); ++i) pred_cols_[i].push_back(preds[i]);
+  agg_.push_back(agg);
+}
+
+Dataset Dataset::WithPredDims(size_t num_dims) const {
+  PASS_CHECK(num_dims >= 1 && num_dims <= NumPredDims());
+  std::vector<std::string> names(pred_names_.begin(),
+                                 pred_names_.begin() + static_cast<long>(num_dims));
+  Dataset out(agg_name_, std::move(names));
+  out.agg_ = agg_;
+  for (size_t i = 0; i < num_dims; ++i) out.pred_cols_[i] = pred_cols_[i];
+  return out;
+}
+
+std::vector<uint32_t> Dataset::SortedPermutation(size_t dim) const {
+  PASS_CHECK(dim < pred_cols_.size());
+  std::vector<uint32_t> perm(NumRows());
+  std::iota(perm.begin(), perm.end(), 0u);
+  const auto& col = pred_cols_[dim];
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&col](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+  return perm;
+}
+
+Status Dataset::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  for (size_t i = 0; i < pred_names_.size(); ++i) {
+    std::fprintf(f, "%s,", pred_names_[i].c_str());
+  }
+  std::fprintf(f, "%s\n", agg_name_.c_str());
+  for (size_t row = 0; row < NumRows(); ++row) {
+    for (size_t d = 0; d < pred_cols_.size(); ++d) {
+      std::fprintf(f, "%.17g,", pred_cols_[d][row]);
+    }
+    std::fprintf(f, "%.17g\n", agg_[row]);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<Dataset> Dataset::ReadCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  char line[1 << 14];
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return Status::IoError("empty csv: " + path);
+  }
+  // Parse the header: last column is the aggregate.
+  std::vector<std::string> names;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      while (!cell.empty() && (cell.back() == '\n' || cell.back() == '\r')) {
+        cell.pop_back();
+      }
+      names.push_back(cell);
+    }
+  }
+  if (names.size() < 2) {
+    std::fclose(f);
+    return Status::IoError("csv needs >= 2 columns: " + path);
+  }
+  std::string agg_name = names.back();
+  names.pop_back();
+  Dataset out(std::move(agg_name), std::move(names));
+  const size_t d = out.NumPredDims();
+  std::vector<double> preds(d);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    char* cursor = line;
+    bool bad = false;
+    for (size_t i = 0; i < d; ++i) {
+      char* next = nullptr;
+      preds[i] = std::strtod(cursor, &next);
+      if (next == cursor || *next != ',') {
+        bad = true;
+        break;
+      }
+      cursor = next + 1;
+    }
+    if (bad) continue;  // skip malformed rows (e.g. trailing newline)
+    char* next = nullptr;
+    const double agg = std::strtod(cursor, &next);
+    if (next == cursor) continue;
+    out.AddRow(preds, agg);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace pass

@@ -1,0 +1,82 @@
+#ifndef PASS_STORAGE_DATASET_H_
+#define PASS_STORAGE_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace pass {
+
+/// Columnar in-memory table for the paper's problem setup (Section 2): one
+/// numerical *aggregation column* A and d *predicate columns* C1..Cd.
+/// Rows are identified by dense uint32 ids; builders work with external
+/// permutations of those ids rather than reordering the data.
+class Dataset {
+ public:
+  /// Creates an empty dataset with named columns. `pred_names` defines the
+  /// predicate dimensionality d (>= 1).
+  Dataset(std::string agg_name, std::vector<std::string> pred_names);
+
+  void Reserve(size_t rows);
+
+  /// Appends a row; `preds.size()` must equal NumPredDims().
+  void AddRow(const std::vector<double>& preds, double agg);
+
+  size_t NumRows() const { return agg_.size(); }
+  size_t NumPredDims() const { return pred_cols_.size(); }
+
+  double agg(size_t row) const {
+    PASS_DCHECK(row < agg_.size());
+    return agg_[row];
+  }
+  double pred(size_t dim, size_t row) const {
+    PASS_DCHECK(dim < pred_cols_.size());
+    PASS_DCHECK(row < pred_cols_[dim].size());
+    return pred_cols_[dim][row];
+  }
+
+  const std::vector<double>& agg_column() const { return agg_; }
+  const std::vector<double>& pred_column(size_t dim) const {
+    PASS_DCHECK(dim < pred_cols_.size());
+    return pred_cols_[dim];
+  }
+
+  const std::string& agg_name() const { return agg_name_; }
+  const std::string& pred_name(size_t dim) const {
+    PASS_DCHECK(dim < pred_names_.size());
+    return pred_names_[dim];
+  }
+
+  /// A dataset restricted to the first `num_dims` predicate columns (used
+  /// by the multi-dimensional query-template experiments, Section 5.4).
+  /// Copies columns; aggregate column is shared content-wise.
+  Dataset WithPredDims(size_t num_dims) const;
+
+  /// Row ids 0..N-1 sorted ascending by predicate column `dim` (stable).
+  std::vector<uint32_t> SortedPermutation(size_t dim) const;
+
+  /// In-memory footprint of the raw columns, in bytes (storage accounting
+  /// for the BSS / Table 2 comparisons).
+  size_t SizeBytes() const {
+    return (NumPredDims() + 1) * NumRows() * sizeof(double);
+  }
+
+  /// Writes `pred1,...,predd,agg` rows with a header line.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Reads a CSV produced by WriteCsv (last column = aggregate).
+  static Result<Dataset> ReadCsv(const std::string& path);
+
+ private:
+  std::string agg_name_;
+  std::vector<std::string> pred_names_;
+  std::vector<double> agg_;
+  std::vector<std::vector<double>> pred_cols_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_STORAGE_DATASET_H_

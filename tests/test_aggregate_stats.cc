@@ -1,0 +1,96 @@
+#include "core/aggregate_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+TEST(AggregateStats, EmptyDefaults) {
+  AggregateStats s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_FALSE(s.IsConstant());
+}
+
+TEST(AggregateStats, AddAccumulatesAllFour) {
+  AggregateStats s;
+  for (const double v : {3.0, -1.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.sum_sq, 9.0 + 1.0 + 16.0);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+}
+
+TEST(AggregateStats, VarianceMatchesDefinition) {
+  AggregateStats s;
+  Rng rng(91);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.UniformDouble(-5.0, 5.0));
+    s.Add(values.back());
+  }
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  EXPECT_NEAR(s.Variance(), var, 1e-9);
+}
+
+TEST(AggregateStats, MergeEqualsSequential) {
+  AggregateStats a;
+  AggregateStats b;
+  AggregateStats whole;
+  Rng rng(92);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    (i % 2 == 0 ? a : b).Add(v);
+    whole.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, whole.count);
+  EXPECT_NEAR(a.sum, whole.sum, 1e-9);
+  EXPECT_NEAR(a.sum_sq, whole.sum_sq, 1e-9);
+  EXPECT_DOUBLE_EQ(a.min, whole.min);
+  EXPECT_DOUBLE_EQ(a.max, whole.max);
+}
+
+TEST(AggregateStats, MergeWithEmptyIsIdentity) {
+  AggregateStats a;
+  a.Add(7.0);
+  AggregateStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_DOUBLE_EQ(a.min, 7.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_DOUBLE_EQ(empty.max, 7.0);
+}
+
+TEST(AggregateStats, IsConstantDetectsSingleValue) {
+  AggregateStats s;
+  s.Add(5.0);
+  EXPECT_TRUE(s.IsConstant());
+  s.Add(5.0);
+  EXPECT_TRUE(s.IsConstant());
+  s.Add(5.0001);
+  EXPECT_FALSE(s.IsConstant());
+}
+
+TEST(AggregateStats, VarianceClampedNonNegative) {
+  AggregateStats s;
+  // Huge offset stresses the E[x^2]-E[x]^2 cancellation.
+  for (int i = 0; i < 100; ++i) s.Add(1e9);
+  EXPECT_GE(s.Variance(), 0.0);
+  EXPECT_TRUE(s.IsConstant());
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,58 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+TEST(Fpc, NoCorrectionForTinySamples) {
+  EXPECT_NEAR(FinitePopulationCorrection(1e6, 10.0), 1.0, 1e-4);
+}
+
+TEST(Fpc, ZeroWhenSamplingEverything) {
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(100.0, 150.0), 0.0);
+}
+
+TEST(Fpc, MatchesFormulaInBetween) {
+  // (N-K)/(N-1) = (100-40)/99.
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(100.0, 40.0), 60.0 / 99.0);
+}
+
+TEST(Fpc, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(1.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FinitePopulationCorrection(50.0, 0.0), 1.0);
+}
+
+TEST(Estimate, HalfWidthScalesWithLambda) {
+  const Estimate e{10.0, 4.0};  // sd = 2
+  EXPECT_DOUBLE_EQ(e.HalfWidth(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(e.HalfWidth(kLambda95), 2.0 * 1.96);
+  EXPECT_DOUBLE_EQ(e.Lower(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(e.Upper(1.0), 12.0);
+}
+
+TEST(Estimate, ContainsIsInclusive) {
+  const Estimate e{10.0, 4.0};
+  EXPECT_TRUE(e.Contains(8.0, 1.0));
+  EXPECT_TRUE(e.Contains(12.0, 1.0));
+  EXPECT_TRUE(e.Contains(10.0, 1.0));
+  EXPECT_FALSE(e.Contains(7.99, 1.0));
+  EXPECT_FALSE(e.Contains(12.01, 1.0));
+}
+
+TEST(Estimate, NegativeVarianceTreatedAsZero) {
+  const Estimate e{5.0, -1e-12};  // numerical noise below zero
+  EXPECT_DOUBLE_EQ(e.HalfWidth(2.0), 0.0);
+  EXPECT_TRUE(e.Contains(5.0, 2.0));
+  EXPECT_FALSE(e.Contains(5.0001, 2.0));
+}
+
+TEST(Estimate, LambdaConstantsOrdered) {
+  EXPECT_LT(kLambda90, kLambda95);
+  EXPECT_LT(kLambda95, kLambda99);
+}
+
+}  // namespace
+}  // namespace pass

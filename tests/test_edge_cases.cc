@@ -1,0 +1,171 @@
+/// Degenerate and duplicate-heavy inputs: the cases that break partition
+/// boundary logic in practice (Instacart-style predicate columns with few
+/// distinct values, constant columns, single-row tables).
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::MustBuild;
+using testing::RangeQueryOnDim;
+
+TEST(EdgeCases, SingleRowDataset) {
+  Dataset data("v", {"x"});
+  data.AddRow({1.0}, 42.0);
+  BuildOptions options;
+  options.num_leaves = 8;
+  options.sample_rate = 1.0;
+  const Synopsis s = MustBuild(data, options);
+  EXPECT_EQ(s.tree().NumLeaves(), 1u);
+  const QueryAnswer a =
+      s.Answer(RangeQueryOnDim(AggregateType::kSum, 1, 0, 0.0, 2.0));
+  EXPECT_DOUBLE_EQ(a.estimate.value, 42.0);
+  EXPECT_TRUE(a.exact);
+}
+
+TEST(EdgeCases, ConstantPredicateColumnCollapsesToOneLeaf) {
+  Dataset data("v", {"x"});
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) data.AddRow({7.0}, rng.UniformDouble());
+  for (const auto strategy :
+       {PartitionStrategy::kEqualDepth, PartitionStrategy::kAdp}) {
+    BuildOptions options;
+    options.num_leaves = 16;
+    options.strategy = strategy;
+    options.opt_sample_size = 200;
+    const Synopsis s = MustBuild(data, options);
+    // No value change anywhere: boundaries snap to the edges.
+    EXPECT_EQ(s.tree().NumLeaves(), 1u) << StrategyName(strategy);
+    EXPECT_TRUE(s.tree().ValidateInvariants().ok());
+  }
+}
+
+TEST(EdgeCases, TwoDistinctPredicateValues) {
+  Dataset data("v", {"x"});
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    data.AddRow({i % 2 == 0 ? 1.0 : 2.0}, rng.UniformDouble(0.0, 10.0));
+  }
+  BuildOptions options;
+  options.num_leaves = 16;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  options.sample_rate = 0.1;
+  const Synopsis s = MustBuild(data, options);
+  EXPECT_LE(s.tree().NumLeaves(), 2u);
+  // Equality query on one of the two values is answered exactly (the value
+  // groups align with the snapped boundaries).
+  const Query q = RangeQueryOnDim(AggregateType::kCount, 1, 0, 1.0, 1.0);
+  const QueryAnswer a = s.Answer(q);
+  EXPECT_DOUBLE_EQ(a.estimate.value, 1000.0);
+}
+
+TEST(EdgeCases, HeavyDuplicationNeverSplitsAValueGroup) {
+  // Zipf product ids: every distinct value must live in exactly one leaf,
+  // so equality queries classify as cover/none, never partial-ambiguous
+  // across two leaves.
+  const Dataset data = MakeInstacartLike(30000, 43, 100);
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.strategy = PartitionStrategy::kAdp;
+  options.opt_sample_size = 3000;
+  const Synopsis s = MustBuild(data, options);
+  EXPECT_TRUE(s.tree().ValidateInvariants().ok());
+  for (double product = 1.0; product <= 100.0; product += 7.0) {
+    const Query q =
+        RangeQueryOnDim(AggregateType::kCount, 1, 0, product, product);
+    const auto frontier = s.tree().ComputeMcf(q.predicate);
+    // The value group sits inside exactly one leaf: either that leaf fully
+    // matches (equality on its only value) or it holds other values too
+    // and reports partial — but never two partial leaves.
+    EXPECT_LE(frontier.partial.size(), 1u) << "product " << product;
+  }
+}
+
+TEST(EdgeCases, MoreLeavesThanDistinctValues) {
+  Dataset data("v", {"x"});
+  Rng rng(44);
+  for (int i = 0; i < 5000; ++i) {
+    data.AddRow({static_cast<double>(i % 5)}, rng.UniformDouble());
+  }
+  BuildOptions options;
+  options.num_leaves = 64;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  const Synopsis s = MustBuild(data, options);
+  EXPECT_LE(s.tree().NumLeaves(), 5u);
+  EXPECT_TRUE(s.tree().ValidateInvariants().ok());
+}
+
+TEST(EdgeCases, QueryWiderThanDataIsExact) {
+  const Dataset data = MakeUniform(2000, 45);
+  BuildOptions options;
+  options.num_leaves = 8;
+  const Synopsis s = MustBuild(data, options);
+  const QueryAnswer a =
+      s.Answer(RangeQueryOnDim(AggregateType::kAvg, 1, 0, -1e300, 1e300));
+  EXPECT_TRUE(a.exact);
+  const ExactResult truth = ExactAnswer(
+      data, RangeQueryOnDim(AggregateType::kAvg, 1, 0, -1e300, 1e300));
+  EXPECT_NEAR(a.estimate.value, truth.value, 1e-9);
+}
+
+TEST(EdgeCases, InvertedIntervalMatchesNothing) {
+  const Dataset data = MakeUniform(1000, 46);
+  BuildOptions options;
+  options.num_leaves = 4;
+  const Synopsis s = MustBuild(data, options);
+  const QueryAnswer a =
+      s.Answer(RangeQueryOnDim(AggregateType::kSum, 1, 0, 0.9, 0.1));
+  EXPECT_DOUBLE_EQ(a.estimate.value, 0.0);
+  EXPECT_DOUBLE_EQ(a.SkipRate(), 1.0);
+}
+
+TEST(EdgeCases, SampleRateZeroStillHasMinimumLeafSamples) {
+  const Dataset data = MakeUniform(10000, 47);
+  BuildOptions options;
+  options.num_leaves = 8;
+  options.sample_rate = 0.0;
+  options.min_leaf_sample = 2;
+  const Synopsis s = MustBuild(data, options);
+  for (size_t i = 0; i < s.NumLeaves(); ++i) {
+    EXPECT_GE(s.leaf_sample(i).size(), 2u);
+  }
+}
+
+TEST(EdgeCases, FullSamplingIsExactEverywhere) {
+  const Dataset data = MakeUniform(3000, 48);
+  BuildOptions options;
+  options.num_leaves = 8;
+  options.sample_rate = 1.0;
+  const Synopsis s = MustBuild(data, options);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 50;
+  wl.seed = 49;
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    const ExactResult truth = ExactAnswer(data, q);
+    const QueryAnswer a = s.Answer(q);
+    // Sampling everything + FPC: exact value, zero variance.
+    EXPECT_NEAR(a.estimate.value, truth.value,
+                1e-9 * (1.0 + std::abs(truth.value)));
+    EXPECT_NEAR(a.estimate.variance, 0.0, 1e-9);
+  }
+}
+
+TEST(EdgeCases, AdpWithTinyOptimizationSample) {
+  const Dataset data = MakeIntelLike(20000, 50);
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.opt_sample_size = 64;  // fewer samples than leaves
+  const Synopsis s = MustBuild(data, options);
+  EXPECT_GE(s.tree().NumLeaves(), 1u);
+  EXPECT_TRUE(s.tree().ValidateInvariants().ok());
+}
+
+}  // namespace
+}  // namespace pass

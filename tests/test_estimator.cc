@@ -1,0 +1,274 @@
+#include "core/estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::MustBuild;
+using testing::RangeQueryOnDim;
+
+TEST(EstimateStratumSum, ScalesByPopulation) {
+  // Sample of 4 with matched sum 6 (values 1,2,3 matched; one non-match).
+  const StratumEstimate est = EstimateStratumSum(100.0, 4.0, 6.0, 14.0, false);
+  EXPECT_DOUBLE_EQ(est.value, 100.0 * 6.0 / 4.0);
+  // var(phi) = 14/4 - 1.5^2 = 1.25; var = 100^2 * 1.25 / 4.
+  EXPECT_DOUBLE_EQ(est.variance, 10000.0 * 1.25 / 4.0);
+}
+
+TEST(EstimateStratumSum, FullSampleWithFpcHasZeroVariance) {
+  // Sampling the entire stratum leaves no estimation uncertainty.
+  const StratumEstimate est = EstimateStratumSum(4.0, 4.0, 6.0, 14.0, true);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);
+}
+
+TEST(EstimateStratumSum, EmptySampleYieldsZero) {
+  const StratumEstimate est = EstimateStratumSum(100.0, 0.0, 0.0, 0.0, true);
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exactness on aligned queries
+// ---------------------------------------------------------------------------
+
+TEST(Estimator, AlignedQueryIsExactWithZeroVariance) {
+  const Dataset data = MakeUniform(10000, 42);
+  BuildOptions options;
+  options.num_leaves = 8;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  const Synopsis s = MustBuild(data, options);
+  // The root's data bounds give a query covering everything.
+  const auto& bounds = s.tree().node(s.tree().root()).data_bounds;
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0,
+                                  bounds.dim(0).lo, bounds.dim(0).hi);
+  const QueryAnswer answer = s.Answer(q);
+  const ExactResult truth = ExactAnswer(data, q);
+  EXPECT_TRUE(answer.exact);
+  EXPECT_NEAR(answer.estimate.value, truth.value,
+              1e-9 * std::abs(truth.value));
+  EXPECT_DOUBLE_EQ(answer.estimate.variance, 0.0);
+  EXPECT_DOUBLE_EQ(answer.SkipRate(), 1.0);
+}
+
+TEST(Estimator, LeafAlignedQueriesExactForEveryAggregate) {
+  const Dataset data = MakeUniform(5000, 43);
+  BuildOptions options;
+  options.num_leaves = 16;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  const Synopsis s = MustBuild(data, options);
+  // Query exactly one leaf by its data bounds.
+  const int32_t leaf = s.tree().leaves()[3];
+  const auto& bounds = s.tree().node(leaf).data_bounds;
+  for (const auto agg : {AggregateType::kSum, AggregateType::kCount,
+                         AggregateType::kAvg, AggregateType::kMin,
+                         AggregateType::kMax}) {
+    const Query q =
+        RangeQueryOnDim(agg, 1, 0, bounds.dim(0).lo, bounds.dim(0).hi);
+    const QueryAnswer answer = s.Answer(q);
+    const ExactResult truth = ExactAnswer(data, q);
+    EXPECT_NEAR(answer.estimate.value, truth.value,
+                1e-9 * (1.0 + std::abs(truth.value)))
+        << AggregateName(agg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statistical behaviour on misaligned queries
+// ---------------------------------------------------------------------------
+
+struct SeedSweep {
+  double mean_est = 0.0;
+  double truth = 0.0;
+  double ci_coverage = 0.0;
+};
+
+SeedSweep SweepSeeds(AggregateType agg, AvgMode avg_mode, int trials) {
+  const Dataset data = MakeUniform(20000, 99, 10.0, 20.0);
+  const Query q = RangeQueryOnDim(agg, 1, 0, 0.123, 0.789);
+  const ExactResult truth = ExactAnswer(data, q);
+  SeedSweep out;
+  out.truth = truth.value;
+  int covered = 0;
+  for (int t = 0; t < trials; ++t) {
+    BuildOptions options;
+    options.num_leaves = 16;
+    options.sample_rate = 0.01;
+    options.seed = static_cast<uint64_t>(t) * 7919 + 13;
+    options.estimator.avg_mode = avg_mode;
+    const Synopsis s = MustBuild(data, options);
+    const QueryAnswer answer = s.Answer(q);
+    out.mean_est += answer.estimate.value;
+    if (answer.estimate.Contains(truth.value, kLambda99)) ++covered;
+  }
+  out.mean_est /= trials;
+  out.ci_coverage = static_cast<double>(covered) / trials;
+  return out;
+}
+
+TEST(Estimator, SumApproximatelyUnbiasedAcrossSeeds) {
+  const SeedSweep sweep = SweepSeeds(AggregateType::kSum, AvgMode::kRatio, 30);
+  EXPECT_NEAR(sweep.mean_est / sweep.truth, 1.0, 0.01);
+}
+
+TEST(Estimator, CountApproximatelyUnbiasedAcrossSeeds) {
+  const SeedSweep sweep =
+      SweepSeeds(AggregateType::kCount, AvgMode::kRatio, 30);
+  EXPECT_NEAR(sweep.mean_est / sweep.truth, 1.0, 0.01);
+}
+
+TEST(Estimator, AvgRatioModeNearTruth) {
+  const SeedSweep sweep = SweepSeeds(AggregateType::kAvg, AvgMode::kRatio, 30);
+  EXPECT_NEAR(sweep.mean_est / sweep.truth, 1.0, 0.01);
+}
+
+TEST(Estimator, AvgPaperWeightsNearTruth) {
+  const SeedSweep sweep =
+      SweepSeeds(AggregateType::kAvg, AvgMode::kPaperWeights, 30);
+  EXPECT_NEAR(sweep.mean_est / sweep.truth, 1.0, 0.01);
+}
+
+TEST(Estimator, Ci99CoversMostSeeds) {
+  const SeedSweep sweep = SweepSeeds(AggregateType::kSum, AvgMode::kRatio, 40);
+  EXPECT_GE(sweep.ci_coverage, 0.85);  // nominal 0.99, finite-sample slack
+}
+
+TEST(Estimator, MoreSamplesShrinkTheCi) {
+  const Dataset data = MakeIntelLike(30000, 5);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 1000.0, 21789.0);
+  double prev_width = std::numeric_limits<double>::infinity();
+  for (const double rate : {0.002, 0.02, 0.2}) {
+    BuildOptions options;
+    options.num_leaves = 16;
+    options.sample_rate = rate;
+    const Synopsis s = MustBuild(data, options);
+    const QueryAnswer answer = s.Answer(q);
+    const double width = answer.estimate.HalfWidth(kLambda99);
+    EXPECT_LT(width, prev_width) << "rate=" << rate;
+    prev_width = width;
+  }
+}
+
+TEST(Estimator, SkipRateGrowsWithPartitions) {
+  const Dataset data = MakeIntelLike(30000, 6);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 18000.0);
+  double prev_skip = -1.0;
+  for (const size_t k : {4u, 32u, 128u}) {
+    BuildOptions options;
+    options.num_leaves = k;
+    options.strategy = PartitionStrategy::kEqualDepth;
+    const Synopsis s = MustBuild(data, options);
+    const double skip = s.Answer(q).SkipRate();
+    EXPECT_GE(skip, prev_skip);
+    prev_skip = skip;
+  }
+  EXPECT_GT(prev_skip, 0.9);
+}
+
+TEST(Estimator, ZeroVarianceRuleAnswersConstantRegionsExactly) {
+  // Adversarial data: the first 7/8 of the domain is identically zero, so
+  // an AVG query inside it must be answered exactly by the rule.
+  const Dataset data = MakeAdversarial(16000, 7);
+  BuildOptions options;
+  options.num_leaves = 16;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  options.estimator.zero_variance_rule = true;
+  const Synopsis s = MustBuild(data, options);
+  const Query q = RangeQueryOnDim(AggregateType::kAvg, 1, 0, 100.5, 9777.5);
+  const QueryAnswer answer = s.Answer(q);
+  EXPECT_DOUBLE_EQ(answer.estimate.value, 0.0);
+  EXPECT_DOUBLE_EQ(answer.estimate.variance, 0.0);
+}
+
+TEST(Estimator, MinMaxReportHardBoundsInsteadOfCi) {
+  const Dataset data = MakeUniform(8000, 8, -5.0, 5.0);
+  BuildOptions options;
+  options.num_leaves = 16;
+  const Synopsis s = MustBuild(data, options);
+  const Query q = RangeQueryOnDim(AggregateType::kMax, 1, 0, 0.2, 0.8);
+  const QueryAnswer answer = s.Answer(q);
+  const ExactResult truth = ExactAnswer(data, q);
+  EXPECT_DOUBLE_EQ(answer.estimate.variance, 0.0);
+  ASSERT_TRUE(answer.hard_lb && answer.hard_ub);
+  EXPECT_LE(*answer.hard_lb, truth.value);
+  EXPECT_GE(*answer.hard_ub, truth.value);
+  // Point estimate is a valid observed value: never above the true max.
+  EXPECT_LE(answer.estimate.value, truth.value + 1e-12);
+}
+
+TEST(Estimator, EmptyQueryReportsNoEvidence) {
+  const Dataset data = MakeUniform(1000, 9);
+  BuildOptions options;
+  options.num_leaves = 4;
+  const Synopsis s = MustBuild(data, options);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 50.0, 60.0);
+  const QueryAnswer answer = s.Answer(q);
+  EXPECT_DOUBLE_EQ(answer.estimate.value, 0.0);
+  EXPECT_TRUE(answer.exact);
+  EXPECT_DOUBLE_EQ(answer.SkipRate(), 1.0);
+}
+
+
+TEST(Estimator, LowEvidenceFlagsThinlyMatchedQueries) {
+  const Dataset data = MakeUniform(50000, 12);
+  BuildOptions options;
+  options.num_leaves = 16;
+  options.sample_rate = 0.005;
+  const Synopsis s = MustBuild(data, options);
+  // A sliver predicate matches almost no sampled rows.
+  const Query sliver =
+      RangeQueryOnDim(AggregateType::kAvg, 1, 0, 0.5000, 0.5005);
+  const QueryAnswer thin = s.Answer(sliver);
+  EXPECT_TRUE(thin.LowEvidence());
+  // A broad predicate matches plenty.
+  const Query broad = RangeQueryOnDim(AggregateType::kAvg, 1, 0, 0.1, 0.9);
+  const QueryAnswer fat = s.Answer(broad);
+  EXPECT_FALSE(fat.LowEvidence());
+  // Only the two boundary (partial) leaves contribute evidence — interior
+  // leaves are answered exactly from aggregates and scan nothing.
+  EXPECT_GE(fat.matched_sample_rows, 10u);
+  // Exact answers are never low-evidence regardless of match counts.
+  const auto& bounds = s.tree().node(s.tree().root()).data_bounds;
+  const QueryAnswer exact = s.Answer(RangeQueryOnDim(
+      AggregateType::kSum, 1, 0, bounds.dim(0).lo, bounds.dim(0).hi));
+  EXPECT_TRUE(exact.exact);
+  EXPECT_FALSE(exact.LowEvidence());
+}
+
+// Parameterized sweep: every aggregate stays within loose relative error on
+// smooth data (the tight accuracy claims live in the benches).
+class EstimatorAccuracy
+    : public ::testing::TestWithParam<std::tuple<AggregateType, AvgMode>> {};
+
+TEST_P(EstimatorAccuracy, ReasonableRelativeError) {
+  const auto [agg, mode] = GetParam();
+  const Dataset data = MakeUniform(30000, 11, 5.0, 6.0);
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.sample_rate = 0.02;
+  options.estimator.avg_mode = mode;
+  const Synopsis s = MustBuild(data, options);
+  const Query q = RangeQueryOnDim(agg, 1, 0, 0.1, 0.65);
+  const ExactResult truth = ExactAnswer(data, q);
+  const QueryAnswer answer = s.Answer(q);
+  EXPECT_NEAR(answer.estimate.value / truth.value, 1.0, 0.05)
+      << AggregateName(agg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EstimatorAccuracy,
+    ::testing::Combine(::testing::Values(AggregateType::kSum,
+                                         AggregateType::kCount,
+                                         AggregateType::kAvg),
+                       ::testing::Values(AvgMode::kRatio,
+                                         AvgMode::kPaperWeights)));
+
+}  // namespace
+}  // namespace pass

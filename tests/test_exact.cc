@@ -1,0 +1,95 @@
+#include "core/exact.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::RangeQueryOnDim;
+
+Dataset MakeData() {
+  Dataset d("v", {"x"});
+  for (int i = 0; i < 10; ++i) {
+    d.AddRow({static_cast<double>(i)}, static_cast<double>(i * i));
+  }
+  return d;
+}
+
+TEST(ExactAnswer, SumOverRange) {
+  const Dataset d = MakeData();
+  const auto r =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kSum, 1, 0, 2.0, 4.0));
+  EXPECT_EQ(r.matched, 3u);
+  EXPECT_DOUBLE_EQ(r.value, 4.0 + 9.0 + 16.0);
+}
+
+TEST(ExactAnswer, CountOverRange) {
+  const Dataset d = MakeData();
+  const auto r =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kCount, 1, 0, 0.0, 9.0));
+  EXPECT_DOUBLE_EQ(r.value, 10.0);
+}
+
+TEST(ExactAnswer, AvgOverRange) {
+  const Dataset d = MakeData();
+  const auto r =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kAvg, 1, 0, 1.0, 3.0));
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 4.0 + 9.0) / 3.0);
+}
+
+TEST(ExactAnswer, MinMaxOverRange) {
+  const Dataset d = MakeData();
+  const auto mn =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kMin, 1, 0, 3.0, 6.0));
+  const auto mx =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kMax, 1, 0, 3.0, 6.0));
+  EXPECT_DOUBLE_EQ(mn.value, 9.0);
+  EXPECT_DOUBLE_EQ(mx.value, 36.0);
+}
+
+TEST(ExactAnswer, EmptyMatchConventions) {
+  const Dataset d = MakeData();
+  const auto sum =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kSum, 1, 0, 100.0, 200.0));
+  EXPECT_EQ(sum.matched, 0u);
+  EXPECT_DOUBLE_EQ(sum.value, 0.0);
+  const auto avg =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kAvg, 1, 0, 100.0, 200.0));
+  EXPECT_TRUE(std::isnan(avg.value));
+}
+
+TEST(ExactAnswer, MultiDimPredicateConjunction) {
+  Dataset d("v", {"x", "y"});
+  d.AddRow({1.0, 1.0}, 10.0);
+  d.AddRow({1.0, 5.0}, 20.0);
+  d.AddRow({5.0, 1.0}, 40.0);
+  Query q;
+  q.agg = AggregateType::kSum;
+  q.predicate = Rect(2);
+  q.predicate.dim(0) = {0.0, 2.0};
+  q.predicate.dim(1) = {0.0, 2.0};
+  const auto r = ExactAnswer(d, q);
+  EXPECT_EQ(r.matched, 1u);
+  EXPECT_DOUBLE_EQ(r.value, 10.0);
+}
+
+TEST(ExactAnswer, BoundaryInclusive) {
+  const Dataset d = MakeData();
+  const auto r =
+      ExactAnswer(d, RangeQueryOnDim(AggregateType::kCount, 1, 0, 3.0, 3.0));
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+}
+
+TEST(ExactAnswerDeathTest, DimensionMismatch) {
+  const Dataset d = MakeData();
+  Query q;
+  q.agg = AggregateType::kSum;
+  q.predicate = Rect::All(2);
+  EXPECT_DEATH({ (void)ExactAnswer(d, q); }, "dimensionality");
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,234 @@
+/// Tests for the paper's Section 3.4 / 4.5 extensions: delta-encoded
+/// samples, GROUP BY rewriting, and multi-template synopsis ensembles.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/delta_encoding.h"
+#include "core/exact.h"
+#include "core/group_by.h"
+#include "data/workload.h"
+#include "data/generators.h"
+#include "partition/ensemble.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::MustBuild;
+
+// ---------------------------------------------------------------------------
+// Delta encoding
+// ---------------------------------------------------------------------------
+
+StratifiedSample MakeSampleAround(double mean, double spread, size_t n,
+                                  uint64_t seed) {
+  StratifiedSample sample(1);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    sample.AddRow({rng.UniformDouble()},
+                  mean + rng.UniformDouble(-spread, spread));
+  }
+  return sample;
+}
+
+TEST(DeltaEncoding, RoundTripWithinTolerance) {
+  const StratifiedSample sample = MakeSampleAround(1e6, 10.0, 500, 1);
+  const DeltaEncodedColumn encoded = DeltaEncodeAggregates(sample, 1e6);
+  EXPECT_TRUE(encoded.lossless_enough);
+  const std::vector<double> decoded = DeltaDecode(encoded);
+  ASSERT_EQ(decoded.size(), 500u);
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_NEAR(decoded[i], sample.agg(i), 1e-4);
+  }
+}
+
+TEST(DeltaEncoding, HalvesAggregateStorage) {
+  const StratifiedSample sample = MakeSampleAround(100.0, 5.0, 1000, 2);
+  const size_t raw = sample.size() * sizeof(double);
+  const size_t encoded = DeltaEncodedAggregateBytes(sample, 100.0);
+  EXPECT_LT(encoded, raw * 0.55);
+}
+
+TEST(DeltaEncoding, TightClusterCompressesWhereGlobalOffsetWouldNot) {
+  // The Section 3.4 premise: deltas from the *partition* mean are small
+  // even when absolute values are huge.
+  const StratifiedSample sample = MakeSampleAround(1e12, 1.0, 200, 3);
+  const DeltaEncodedColumn good = DeltaEncodeAggregates(sample, 1e12);
+  EXPECT_TRUE(good.lossless_enough);
+  // Encoding against a far-away base forces float32 to carry ~1e12 and
+  // lose the 1.0-scale detail.
+  const DeltaEncodedColumn bad = DeltaEncodeAggregates(sample, 0.0);
+  EXPECT_FALSE(bad.lossless_enough);
+}
+
+TEST(DeltaEncoding, FallsBackToRawBytesWhenLossy) {
+  const StratifiedSample sample = MakeSampleAround(1e12, 1.0, 100, 4);
+  EXPECT_EQ(DeltaEncodedAggregateBytes(sample, 0.0),
+            sample.size() * sizeof(double));
+}
+
+TEST(DeltaEncoding, EmptySample) {
+  StratifiedSample sample(1);
+  const DeltaEncodedColumn encoded = DeltaEncodeAggregates(sample, 5.0);
+  EXPECT_TRUE(encoded.lossless_enough);
+  EXPECT_TRUE(DeltaDecode(encoded).empty());
+}
+
+// ---------------------------------------------------------------------------
+// GROUP BY
+// ---------------------------------------------------------------------------
+
+TEST(GroupBy, DistinctValuesOfCategoricalColumn) {
+  const Dataset data = MakeInstacartLike(5000, 5, 50);
+  const std::vector<double> values = DistinctValues(data, 0);
+  EXPECT_FALSE(values.empty());
+  EXPECT_LE(values.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(GroupBy, RefusesContinuousColumns) {
+  const Dataset data = MakeUniform(10000, 6);
+  EXPECT_TRUE(DistinctValues(data, 0, 100).empty());
+}
+
+TEST(GroupBy, PerGroupAnswersMatchEqualityQueries) {
+  const Dataset data = MakeInstacartLike(40000, 7, 20);
+  BuildOptions options;
+  options.num_leaves = 16;
+  options.sample_rate = 0.05;
+  const Synopsis s = MustBuild(data, options);
+
+  const std::vector<double> groups = DistinctValues(data, 0);
+  const auto rows =
+      AnswerGroupBy(s, AggregateType::kCount, Rect::All(1), 0, groups);
+  ASSERT_EQ(rows.size(), groups.size());
+  double total = 0.0;
+  for (const GroupByRow& row : rows) {
+    // Each row equals the direct equality-predicate query.
+    Query q;
+    q.agg = AggregateType::kCount;
+    q.predicate = Rect::All(1);
+    q.predicate.dim(0) = {row.group_value, row.group_value};
+    EXPECT_DOUBLE_EQ(row.answer.estimate.value,
+                     s.Answer(q).estimate.value);
+    total += row.answer.estimate.value;
+  }
+  // Groups partition the table: counts must add up to ~N.
+  EXPECT_NEAR(total, 40000.0, 40000.0 * 0.1);
+}
+
+TEST(GroupBy, RespectsBaseFilter) {
+  const Dataset data = MakeLineitemLike(30000, 8);  // 3 predicate dims
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.sample_rate = 0.05;
+  options.partition_dims = {0};
+  const Synopsis s = MustBuild(data, options);
+  // GROUP BY quantity (dim 2) over a shipdate window (dim 0).
+  Rect base = Rect::All(3);
+  base.dim(0) = {100.0, 500.0};
+  const auto rows = AnswerGroupBy(s, AggregateType::kSum, base, 2,
+                                  {1.0, 2.0, 3.0});
+  for (const GroupByRow& row : rows) {
+    Query direct;
+    direct.agg = AggregateType::kSum;
+    direct.predicate = base;
+    direct.predicate.dim(2) = {row.group_value, row.group_value};
+    const ExactResult truth = ExactAnswer(data, direct);
+    ASSERT_TRUE(row.answer.hard_lb && row.answer.hard_ub);
+    EXPECT_GE(truth.value, *row.answer.hard_lb - 1e-6);
+    EXPECT_LE(truth.value, *row.answer.hard_ub + 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ensembles
+// ---------------------------------------------------------------------------
+
+TEST(Ensemble, RoutesToBestMatchingTemplate) {
+  const Dataset data = MakeTaxiLike(30000, 9).WithPredDims(3);
+  BuildOptions base;
+  base.num_leaves = 32;
+  base.sample_rate = 0.02;
+  Result<SynopsisEnsemble> built =
+      BuildEnsemble(data, {{0}, {1, 2}, {0, 1, 2}}, base);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const SynopsisEnsemble& ensemble = *built;
+  EXPECT_EQ(ensemble.NumMembers(), 3u);
+
+  Rect only_dim0 = Rect::All(3);
+  only_dim0.dim(0) = {0.0, 40000.0};
+  EXPECT_EQ(ensemble.RouteIndex(only_dim0), 0u);
+
+  Rect dims12 = Rect::All(3);
+  dims12.dim(1) = {0.0, 10.0};
+  dims12.dim(2) = {1.0, 100.0};
+  EXPECT_EQ(ensemble.RouteIndex(dims12), 1u);
+
+  Rect all_three = Rect::All(3);
+  all_three.dim(0) = {0.0, 40000.0};
+  all_three.dim(1) = {0.0, 10.0};
+  all_three.dim(2) = {1.0, 100.0};
+  EXPECT_EQ(ensemble.RouteIndex(all_three), 2u);
+}
+
+TEST(Ensemble, AnswersAreValidWhicheverMemberRoutes) {
+  const Dataset data = MakeTaxiLike(30000, 10).WithPredDims(3);
+  BuildOptions base;
+  base.num_leaves = 64;
+  base.sample_rate = 0.03;
+  const SynopsisEnsemble ensemble =
+      *BuildEnsemble(data, {{0}, {0, 1}, {0, 1, 2}}, base);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 60;
+  wl.template_dims = {0, 1};
+  wl.seed = 11;
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    const ExactResult truth = ExactAnswer(data, q);
+    if (truth.matched == 0) continue;
+    const QueryAnswer answer = ensemble.Answer(q);
+    ASSERT_TRUE(answer.hard_lb && answer.hard_ub);
+    const double slack = 1e-9 * (1.0 + std::abs(truth.value));
+    EXPECT_GE(truth.value, *answer.hard_lb - slack);
+    EXPECT_LE(truth.value, *answer.hard_ub + slack);
+  }
+}
+
+TEST(Ensemble, CostsAggregateAcrossMembers) {
+  const Dataset data = MakeTaxiLike(10000, 12).WithPredDims(2);
+  BuildOptions base;
+  base.num_leaves = 16;
+  base.sample_rate = 0.02;
+  const SynopsisEnsemble ensemble =
+      *BuildEnsemble(data, {{0}, {0, 1}}, base);
+  const SystemCosts costs = ensemble.Costs();
+  EXPECT_GT(costs.storage_bytes, ensemble.member(0).StorageBytes());
+  EXPECT_GE(costs.build_seconds, ensemble.member(0).build_seconds());
+}
+
+TEST(Ensemble, BudgetSplitsAcrossMembers) {
+  const Dataset data = MakeUniform(50000, 13);
+  BuildOptions base;
+  base.num_leaves = 8;
+  base.sample_budget = 1000;
+  const SynopsisEnsemble ensemble = *BuildEnsemble(data, {{0}, {0}}, base);
+  size_t total = 0;
+  for (size_t m = 0; m < 2; ++m) {
+    for (size_t i = 0; i < ensemble.member(m).NumLeaves(); ++i) {
+      total += ensemble.member(m).leaf_sample(i).size();
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(total), 1000.0, 200.0);
+}
+
+TEST(Ensemble, EmptyTemplatesRejected) {
+  const Dataset data = MakeUniform(100, 14);
+  BuildOptions base;
+  EXPECT_FALSE(BuildEnsemble(data, {}, base).ok());
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,139 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+TEST(Generators, Deterministic) {
+  const Dataset a = MakeIntelLike(1000, 9);
+  const Dataset b = MakeIntelLike(1000, 9);
+  for (size_t i = 0; i < 1000; i += 97) {
+    EXPECT_DOUBLE_EQ(a.agg(i), b.agg(i));
+    EXPECT_DOUBLE_EQ(a.pred(0, i), b.pred(0, i));
+  }
+  const Dataset c = MakeIntelLike(1000, 10);
+  bool differs = false;
+  for (size_t i = 0; i < 1000; ++i) differs |= (a.agg(i) != c.agg(i));
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, IntelLikeShape) {
+  const Dataset d = MakeIntelLike(50000, 11);
+  EXPECT_EQ(d.NumRows(), 50000u);
+  EXPECT_EQ(d.NumPredDims(), 1u);
+  // Time column is the row index.
+  EXPECT_DOUBLE_EQ(d.pred(0, 123), 123.0);
+  // Long near-zero night stretches: a sizable share of readings below 3.
+  size_t dark = 0;
+  double max_light = 0.0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    if (d.agg(i) < 3.0) ++dark;
+    max_light = std::max(max_light, d.agg(i));
+  }
+  EXPECT_GT(static_cast<double>(dark) / 50000.0, 0.3);
+  EXPECT_GT(max_light, 400.0);  // daylight bursts
+}
+
+TEST(Generators, InstacartLikeShape) {
+  const Dataset d = MakeInstacartLike(30000, 12, 2000);
+  EXPECT_EQ(d.NumPredDims(), 1u);
+  std::set<double> products;
+  size_t ones = 0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    products.insert(d.pred(0, i));
+    EXPECT_TRUE(d.agg(i) == 0.0 || d.agg(i) == 1.0);
+    ones += d.agg(i) == 1.0;
+    EXPECT_GE(d.pred(0, i), 1.0);
+    EXPECT_LE(d.pred(0, i), 2000.0);
+  }
+  // Zipf: heavy duplication.
+  EXPECT_LT(products.size(), 2000u);
+  // Reorder rate strictly between 0 and 1.
+  EXPECT_GT(ones, 3000u);
+  EXPECT_LT(ones, 27000u);
+}
+
+TEST(Generators, TaxiLikeShape) {
+  const Dataset d = MakeTaxiLike(20000, 13);
+  EXPECT_EQ(d.NumPredDims(), 5u);
+  EXPECT_EQ(d.pred_name(0), "pickup_time");
+  EXPECT_EQ(d.pred_name(2), "pu_location_id");
+  for (size_t i = 0; i < d.NumRows(); i += 31) {
+    EXPECT_GE(d.pred(0, i), 0.0);
+    EXPECT_LT(d.pred(0, i), 86400.0);
+    EXPECT_GE(d.pred(1, i), 0.0);
+    EXPECT_LE(d.pred(1, i), 30.0);
+    EXPECT_GE(d.pred(2, i), 1.0);
+    EXPECT_LE(d.pred(2, i), 263.0);
+    EXPECT_GT(d.agg(i), 0.0);  // distances positive
+  }
+}
+
+TEST(Generators, TaxiDropoffAfterPickupModuloMidnight) {
+  const Dataset d = MakeTaxiLike(5000, 14);
+  size_t wrapped = 0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    const double pickup_date = d.pred(1, i);
+    const double dropoff_date = d.pred(3, i);
+    EXPECT_GE(dropoff_date, pickup_date);
+    EXPECT_LE(dropoff_date, pickup_date + 1.0);
+    if (dropoff_date > pickup_date) ++wrapped;
+  }
+  EXPECT_GT(wrapped, 0u);  // some night rides cross midnight
+}
+
+TEST(Generators, TaxiDatetimeCombinesDayAndTime) {
+  const Dataset d = MakeTaxiDatetime(5000, 15);
+  EXPECT_EQ(d.NumPredDims(), 1u);
+  for (size_t i = 0; i < d.NumRows(); i += 17) {
+    EXPECT_GE(d.pred(0, i), 0.0);
+    EXPECT_LT(d.pred(0, i), 31.0 * 86400.0);
+  }
+}
+
+TEST(Generators, AdversarialSplit) {
+  const Dataset d = MakeAdversarial(8000, 16);
+  const size_t zeros = 8000 - 8000 / 8;
+  for (size_t i = 0; i < zeros; ++i) {
+    ASSERT_DOUBLE_EQ(d.agg(i), 0.0) << i;
+  }
+  double tail_mean = 0.0;
+  for (size_t i = zeros; i < 8000; ++i) tail_mean += d.agg(i);
+  tail_mean /= static_cast<double>(8000 - zeros);
+  EXPECT_NEAR(tail_mean, 50.0, 2.0);
+  // Predicate is unique per row.
+  EXPECT_DOUBLE_EQ(d.pred(0, 100), 100.0);
+}
+
+TEST(Generators, LineitemLikeShape) {
+  const Dataset d = MakeLineitemLike(10000, 17);
+  EXPECT_EQ(d.NumPredDims(), 3u);
+  EXPECT_EQ(d.pred_name(0), "shipdate");
+  for (size_t i = 0; i < d.NumRows(); i += 13) {
+    EXPECT_GE(d.pred(0, i), 0.0);
+    EXPECT_LE(d.pred(0, i), 2555.0);
+    EXPECT_GE(d.pred(1, i), 0.0);
+    EXPECT_LE(d.pred(1, i), 0.10001);
+    EXPECT_GE(d.pred(2, i), 1.0);
+    EXPECT_LE(d.pred(2, i), 50.0);
+    EXPECT_GT(d.agg(i), 0.0);
+  }
+}
+
+TEST(Generators, UniformRangeRespected) {
+  const Dataset d = MakeUniform(5000, 18, -2.0, 2.0);
+  for (size_t i = 0; i < d.NumRows(); i += 7) {
+    EXPECT_GE(d.agg(i), -2.0);
+    EXPECT_LT(d.agg(i), 2.0);
+    EXPECT_GE(d.pred(0, i), 0.0);
+    EXPECT_LT(d.pred(0, i), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pass

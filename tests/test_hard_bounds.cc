@@ -1,0 +1,171 @@
+#include "core/hard_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+/// Two-leaf flat tree: leaf A (values 1..4, bounds [0,3]), leaf B (values
+/// 10,20, bounds [4,5]).
+class HardBoundsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PartitionTree::Node a;
+    a.condition = Rect(1);
+    a.condition.dim(0) = {-0.5, 3.5};
+    a.data_bounds = Rect(1);
+    a.data_bounds.dim(0) = {0.0, 3.0};
+    for (double v : {1.0, 2.0, 3.0, 4.0}) a.stats.Add(v);
+    a_ = tree_.AddNode(std::move(a));
+
+    PartitionTree::Node b;
+    b.condition = Rect(1);
+    b.condition.dim(0) = {3.5, 5.5};
+    b.data_bounds = Rect(1);
+    b.data_bounds.dim(0) = {4.0, 5.0};
+    b.stats.Add(10.0);
+    b.stats.Add(20.0);
+    b_ = tree_.AddNode(std::move(b));
+
+    PartitionTree::Node root;
+    root.condition = Rect::All(1);
+    root.data_bounds = Rect(1);
+    root.data_bounds.dim(0) = {0.0, 5.0};
+    root.stats.Merge(tree_.node(a_).stats);
+    root.stats.Merge(tree_.node(b_).stats);
+    root_ = tree_.AddNode(std::move(root));
+    tree_.AddChild(root_, a_);
+    tree_.AddChild(root_, b_);
+    tree_.SetRoot(root_);
+    tree_.FinalizeLeaves();
+  }
+
+  PartitionTree tree_;
+  int32_t a_, b_, root_;
+};
+
+TEST_F(HardBoundsFixture, SumCoveredPlusPartial) {
+  // A covered (sum 10), B partial (non-negative values: ub adds 30).
+  const auto hb =
+      ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kSum);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 10.0);
+  EXPECT_DOUBLE_EQ(hb.ub, 40.0);
+}
+
+TEST_F(HardBoundsFixture, CountCoveredPlusPartial) {
+  const auto hb =
+      ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kCount);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 4.0);
+  EXPECT_DOUBLE_EQ(hb.ub, 6.0);
+}
+
+TEST_F(HardBoundsFixture, AvgUsesCoveredMeanAndPartialExtrema) {
+  const auto hb =
+      ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kAvg);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 2.5);   // min(covered avg, partial min=10)
+  EXPECT_DOUBLE_EQ(hb.ub, 20.0);  // max(covered avg, partial max)
+}
+
+TEST_F(HardBoundsFixture, AvgAllCoveredIsExact) {
+  const auto hb =
+      ComputeHardBounds(tree_, {a_, b_}, {}, AggregateType::kAvg);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 40.0 / 6.0);
+  EXPECT_DOUBLE_EQ(hb.ub, 40.0 / 6.0);
+}
+
+TEST_F(HardBoundsFixture, SumWithNegativeValuesWidens) {
+  // Replace leaf B stats with mixed-sign values.
+  AggregateStats mixed;
+  mixed.Add(-5.0);
+  mixed.Add(8.0);
+  tree_.mutable_node(b_).stats = mixed;
+  const auto hb =
+      ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kSum);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 10.0 + 2.0 * -5.0);  // count * min(0, min)
+  EXPECT_DOUBLE_EQ(hb.ub, 10.0 + 2.0 * 8.0);   // count * max(0, max)
+}
+
+TEST_F(HardBoundsFixture, MaxBoundsFromCoveredAndPartial) {
+  const auto hb =
+      ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kMax);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 4.0);   // covered max is attained
+  EXPECT_DOUBLE_EQ(hb.ub, 20.0);  // partial max
+}
+
+TEST_F(HardBoundsFixture, MaxObservedSampleTightensLower) {
+  const auto hb = ComputeHardBounds(tree_, {a_}, {b_}, AggregateType::kMax,
+                                    /*observed_min=*/{},
+                                    /*observed_max=*/15.0);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 15.0);
+}
+
+TEST_F(HardBoundsFixture, MinBounds) {
+  const auto hb =
+      ComputeHardBounds(tree_, {b_}, {a_}, AggregateType::kMin);
+  ASSERT_TRUE(hb.valid);
+  EXPECT_DOUBLE_EQ(hb.lb, 1.0);   // nothing matched can be below 1
+  EXPECT_DOUBLE_EQ(hb.ub, 10.0);  // covered min is attained
+}
+
+TEST_F(HardBoundsFixture, EmptyFrontierInvalid) {
+  const auto hb = ComputeHardBounds(tree_, {}, {}, AggregateType::kSum);
+  EXPECT_FALSE(hb.valid);
+}
+
+// ---------------------------------------------------------------------------
+// Property: hard bounds from a real synopsis always contain the truth.
+// ---------------------------------------------------------------------------
+
+class HardBoundProperty
+    : public ::testing::TestWithParam<std::tuple<AggregateType, int>> {};
+
+TEST_P(HardBoundProperty, BoundsContainTruth) {
+  const auto [agg, seed] = GetParam();
+  const Dataset data = MakeIntelLike(20000, static_cast<uint64_t>(seed));
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.sample_rate = 0.01;
+  options.seed = static_cast<uint64_t>(seed);
+  const Synopsis synopsis = testing::MustBuild(data, options);
+
+  WorkloadOptions wl;
+  wl.agg = agg;
+  wl.count = 150;
+  wl.seed = static_cast<uint64_t>(seed) * 31 + 7;
+  const auto queries = RandomRangeQueries(data, wl);
+  for (const Query& q : queries) {
+    const ExactResult truth = ExactAnswer(data, q);
+    if (truth.matched == 0) continue;
+    const QueryAnswer answer = synopsis.Answer(q);
+    ASSERT_TRUE(answer.hard_lb.has_value());
+    ASSERT_TRUE(answer.hard_ub.has_value());
+    const double slack = 1e-9 * (1.0 + std::abs(truth.value));
+    EXPECT_GE(truth.value, *answer.hard_lb - slack) << q.ToString();
+    EXPECT_LE(truth.value, *answer.hard_ub + slack) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, HardBoundProperty,
+    ::testing::Combine(::testing::Values(AggregateType::kSum,
+                                         AggregateType::kCount,
+                                         AggregateType::kAvg,
+                                         AggregateType::kMin,
+                                         AggregateType::kMax),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace pass

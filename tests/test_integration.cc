@@ -1,0 +1,206 @@
+/// End-to-end scenarios: the headline claims of the paper, scaled down to
+/// test budgets. The benches reproduce the full tables; these tests lock in
+/// the *direction* of each result so regressions fail fast.
+
+#include <gtest/gtest.h>
+
+#include "baselines/agg_plus_uniform.h"
+#include "baselines/stratified_sampling.h"
+#include "baselines/uniform_sampling.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "harness/metrics.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::MustBuild;
+
+struct Bench {
+  Dataset data;
+  std::vector<Query> queries;
+  std::vector<ExactResult> truths;
+};
+
+Bench MakeBench(Dataset data, AggregateType agg, size_t count,
+                uint64_t seed) {
+  WorkloadOptions wl;
+  wl.agg = agg;
+  wl.count = count;
+  wl.seed = seed;
+  std::vector<Query> queries = RandomRangeQueries(data, wl);
+  std::vector<ExactResult> truths = ComputeGroundTruth(data, queries);
+  return {std::move(data), std::move(queries), std::move(truths)};
+}
+
+BuildOptions PassOptions(size_t leaves, double rate) {
+  BuildOptions options;
+  options.num_leaves = leaves;
+  options.sample_rate = rate;
+  options.opt_sample_size = 4000;
+  return options;
+}
+
+TEST(Integration, PassBeatsUniformAndStratifiedOnIntelLike) {
+  // The Table 1 ordering: PASS < ST < US in median relative error.
+  Bench bench = MakeBench(MakeIntelLike(60000, 200), AggregateType::kSum,
+                          250, 201);
+  const Synopsis pass_sys = MustBuild(bench.data, PassOptions(64, 0.01));
+  const UniformSamplingSystem us(bench.data, 0.01, 202);
+  const StratifiedSamplingSystem st(bench.data, 64, 0.01, 0, 202);
+
+  const double pass_err =
+      EvaluateSystem(pass_sys, bench.queries, bench.truths).median_rel_error;
+  const double us_err =
+      EvaluateSystem(us, bench.queries, bench.truths).median_rel_error;
+  const double st_err =
+      EvaluateSystem(st, bench.queries, bench.truths).median_rel_error;
+  EXPECT_LT(pass_err, us_err);
+  EXPECT_LT(pass_err, st_err);
+  // Paper: < 0.1% at 3M rows / 15k samples; this test runs at 60k rows /
+  // 600 samples, so the bar scales accordingly.
+  EXPECT_LT(pass_err, 0.05);
+}
+
+TEST(Integration, PassBeatsAqpPlusPlusOnRandomWorkload) {
+  Bench bench = MakeBench(MakeTaxiDatetime(60000, 203), AggregateType::kSum,
+                          250, 204);
+  const Synopsis pass_sys = MustBuild(bench.data, PassOptions(64, 0.01));
+  AqpPlusPlusOptions aqp_options;
+  aqp_options.num_partitions = 64;
+  aqp_options.sample_rate = 0.01;
+  aqp_options.seed = 205;
+  const auto aqp = MakeAqpPlusPlus(bench.data, aqp_options);
+  const double pass_err =
+      EvaluateSystem(pass_sys, bench.queries, bench.truths).median_rel_error;
+  const double aqp_err =
+      EvaluateSystem(aqp, bench.queries, bench.truths).median_rel_error;
+  EXPECT_LT(pass_err, aqp_err);
+}
+
+TEST(Integration, ErrorDecreasesWithMorePartitions) {
+  // Figure 3's shape: more precomputation -> lower error.
+  Bench bench = MakeBench(MakeIntelLike(60000, 206), AggregateType::kSum,
+                          200, 207);
+  const double err4 =
+      EvaluateSystem(MustBuild(bench.data, PassOptions(4, 0.005)),
+                     bench.queries, bench.truths)
+          .median_rel_error;
+  const double err64 =
+      EvaluateSystem(MustBuild(bench.data, PassOptions(64, 0.005)),
+                     bench.queries, bench.truths)
+          .median_rel_error;
+  EXPECT_LT(err64, err4);
+}
+
+TEST(Integration, ErrorDecreasesWithSampleRate) {
+  // Figure 4's shape.
+  Bench bench = MakeBench(MakeTaxiDatetime(50000, 208), AggregateType::kSum,
+                          200, 209);
+  const double lo =
+      EvaluateSystem(MustBuild(bench.data, PassOptions(64, 0.002)),
+                     bench.queries, bench.truths)
+          .median_rel_error;
+  const double hi =
+      EvaluateSystem(MustBuild(bench.data, PassOptions(64, 0.05)),
+                     bench.queries, bench.truths)
+          .median_rel_error;
+  EXPECT_LT(hi, lo);
+}
+
+TEST(Integration, AdpBeatsEqualDepthOnChallengingQueries) {
+  // Figure 6's claim, on the adversarial dataset.
+  Dataset data = MakeAdversarial(80000, 210);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 250;
+  wl.seed = 211;
+  const auto queries = ChallengingQueries(data, 0, wl, 4000, 0.005);
+  const auto truths = ComputeGroundTruth(data, queries);
+
+  // 0.02 sample rate keeps several samples per ADP stratum at this scale
+  // (the paper's 0.5% of 1M rows gives the same per-stratum density).
+  BuildOptions adp = PassOptions(32, 0.02);
+  adp.strategy = PartitionStrategy::kAdp;
+  BuildOptions eq = PassOptions(32, 0.02);
+  eq.strategy = PartitionStrategy::kEqualDepth;
+  const RunSummary adp_summary =
+      EvaluateSystem(MustBuild(data, adp), queries, truths);
+  const RunSummary eq_summary =
+      EvaluateSystem(MustBuild(data, eq), queries, truths);
+  EXPECT_LE(adp_summary.median_ci_ratio, eq_summary.median_ci_ratio);
+  EXPECT_LE(adp_summary.median_rel_error, eq_summary.median_rel_error);
+}
+
+TEST(Integration, KdPassBeatsKdUsOnMultiDim) {
+  // Figure 8's claim, 2-D template.
+  Dataset data = MakeTaxiLike(60000, 212).WithPredDims(2);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kAvg;
+  wl.count = 200;
+  wl.template_dims = {0, 1};
+  wl.seed = 213;
+  const auto queries = RandomRangeQueries(data, wl);
+  const auto truths = ComputeGroundTruth(data, queries);
+
+  BuildOptions kd_pass = PassOptions(128, 0.03);
+  kd_pass.strategy = PartitionStrategy::kKdGreedy;
+  kd_pass.optimize_for = AggregateType::kAvg;
+  kd_pass.opt_sample_size = 10000;
+  const Synopsis pass_sys = MustBuild(data, kd_pass);
+
+  KdUsOptions kd_us;
+  kd_us.partition_dims = {0, 1};
+  kd_us.max_leaves = 128;
+  kd_us.sample_rate = 0.03;
+  kd_us.seed = 214;
+  const auto us_sys = MakeKdUs(data, kd_us);
+
+  const RunSummary pass_summary =
+      EvaluateSystem(pass_sys, queries, truths);
+  const RunSummary us_summary = EvaluateSystem(us_sys, queries, truths);
+  EXPECT_LE(pass_summary.median_ci_ratio, us_summary.median_ci_ratio);
+  EXPECT_GT(pass_summary.mean_skip_rate, 0.5);
+}
+
+TEST(Integration, WorkloadShiftStillAnswersSafely) {
+  // Figure 9: a synopsis partitioned on 2 dims answering 4-dim templates
+  // still produces valid hard bounds and sane estimates.
+  Dataset data = MakeTaxiLike(40000, 215).WithPredDims(4);
+  BuildOptions options = PassOptions(128, 0.01);
+  options.strategy = PartitionStrategy::kKdGreedy;
+  options.partition_dims = {0, 1};
+  const Synopsis s = MustBuild(data, options);
+
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 100;
+  wl.template_dims = {0, 1, 2, 3};
+  wl.seed = 216;
+  const auto queries = RandomRangeQueries(data, wl);
+  for (const Query& q : queries) {
+    const ExactResult truth = ExactAnswer(data, q);
+    if (truth.matched == 0) continue;
+    const QueryAnswer answer = s.Answer(q);
+    ASSERT_TRUE(answer.hard_lb && answer.hard_ub);
+    const double slack = 1e-9 * (1.0 + std::abs(truth.value));
+    EXPECT_GE(truth.value, *answer.hard_lb - slack);
+    EXPECT_LE(truth.value, *answer.hard_ub + slack);
+  }
+}
+
+TEST(Integration, EssSmallerThanUniformForSelectiveQueries) {
+  // PASS's data skipping: the effective sample size per query is a small
+  // fraction of the full sample for selective predicates.
+  const Dataset data = MakeIntelLike(60000, 217);
+  const Synopsis s = MustBuild(data, PassOptions(128, 0.01));
+  const UniformSamplingSystem us(data, 0.01, 218);
+  const Query q = testing::RangeQueryOnDim(AggregateType::kSum, 1, 0,
+                                           10000.0, 12000.0);
+  EXPECT_LT(s.Answer(q).sample_rows_scanned,
+            us.Answer(q).sample_rows_scanned / 4);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,162 @@
+#include "partition/kd_builder.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace pass {
+namespace {
+
+KdBuildOptions BaseOptions(size_t dims, size_t leaves,
+                           KdExpansion expansion) {
+  KdBuildOptions kd;
+  kd.partition_dims.resize(dims);
+  for (size_t i = 0; i < dims; ++i) kd.partition_dims[i] = i;
+  kd.max_leaves = leaves;
+  kd.expansion = expansion;
+  kd.opt_sample_size = 2000;
+  return kd;
+}
+
+TEST(KdBuilder, BreadthFirstProducesBalancedTree) {
+  const Dataset data = MakeTaxiLike(20000, 31);
+  const KdBuildResult result = BuildKdPartition(
+      data, BaseOptions(2, 64, KdExpansion::kBreadthFirst));
+  EXPECT_TRUE(result.tree.ValidateInvariants().ok())
+      << result.tree.ValidateInvariants().ToString();
+  EXPECT_GE(result.tree.NumLeaves(), 64u);
+  uint32_t min_depth = 1000;
+  uint32_t max_depth = 0;
+  for (const int32_t leaf : result.tree.leaves()) {
+    min_depth = std::min(min_depth, result.tree.node(leaf).depth);
+    max_depth = std::max(max_depth, result.tree.node(leaf).depth);
+  }
+  EXPECT_LE(max_depth - min_depth, 1u);
+}
+
+TEST(KdBuilder, GreedyRespectsDepthImbalanceConstraint) {
+  const Dataset data = MakeTaxiLike(20000, 32);
+  KdBuildOptions kd = BaseOptions(2, 64, KdExpansion::kMaxVariance);
+  kd.max_depth_imbalance = 2;
+  const KdBuildResult result = BuildKdPartition(data, kd);
+  uint32_t min_depth = 1000;
+  uint32_t max_depth = 0;
+  for (const int32_t leaf : result.tree.leaves()) {
+    min_depth = std::min(min_depth, result.tree.node(leaf).depth);
+    max_depth = std::max(max_depth, result.tree.node(leaf).depth);
+  }
+  EXPECT_LE(max_depth - min_depth, 2u);
+}
+
+TEST(KdBuilder, LeafSlicesTileThePermutation) {
+  const Dataset data = MakeTaxiLike(10000, 33);
+  const KdBuildResult result =
+      BuildKdPartition(data, BaseOptions(3, 32, KdExpansion::kMaxVariance));
+  ASSERT_EQ(result.leaf_slices.size(), result.tree.NumLeaves());
+  std::vector<RowSlice> slices = result.leaf_slices;
+  std::sort(slices.begin(), slices.end());
+  size_t cursor = 0;
+  for (const RowSlice& s : slices) {
+    EXPECT_EQ(s.first, cursor);
+    EXPECT_GT(s.second, s.first);
+    cursor = s.second;
+  }
+  EXPECT_EQ(cursor, data.NumRows());
+}
+
+TEST(KdBuilder, LeafStatsMatchSliceRows) {
+  const Dataset data = MakeTaxiLike(8000, 34);
+  const KdBuildResult result =
+      BuildKdPartition(data, BaseOptions(2, 16, KdExpansion::kMaxVariance));
+  for (size_t leaf_id = 0; leaf_id < result.tree.NumLeaves(); ++leaf_id) {
+    const RowSlice slice = result.leaf_slices[leaf_id];
+    const AggregateStats expect =
+        ComputeSliceStats(data, result.perm, slice);
+    const AggregateStats& got =
+        result.tree.node(result.tree.leaves()[leaf_id]).stats;
+    EXPECT_EQ(got.count, expect.count);
+    EXPECT_NEAR(got.sum, expect.sum, 1e-6 * (1.0 + std::abs(expect.sum)));
+  }
+}
+
+TEST(KdBuilder, RoutesEveryRowToItsLeafSlice) {
+  const Dataset data = MakeTaxiLike(4000, 35);
+  const KdBuildResult result =
+      BuildKdPartition(data, BaseOptions(2, 32, KdExpansion::kBreadthFirst));
+  // Routing a data point by condition must land in the leaf whose slice
+  // contains that row.
+  std::vector<int32_t> leaf_of_row(data.NumRows(), -1);
+  for (size_t leaf_id = 0; leaf_id < result.leaf_slices.size(); ++leaf_id) {
+    const RowSlice slice = result.leaf_slices[leaf_id];
+    for (size_t i = slice.first; i < slice.second; ++i) {
+      leaf_of_row[result.perm[i]] =
+          result.tree.leaves()[leaf_id];
+    }
+  }
+  std::vector<double> point(data.NumPredDims());
+  for (size_t row = 0; row < 500; ++row) {
+    for (size_t dim = 0; dim < point.size(); ++dim) {
+      point[dim] = data.pred(dim, row);
+    }
+    EXPECT_EQ(result.tree.RouteToLeaf(point), leaf_of_row[row]);
+  }
+}
+
+TEST(KdBuilder, GreedySplitsTheHighVarianceRegionDeeper) {
+  // Data with a variance hotspot in one corner: the greedy tree should
+  // spend more leaves (hence smaller slices) there than breadth-first.
+  Dataset data("v", {"x", "y"});
+  Rng rng(36);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.UniformDouble();
+    const double y = rng.UniformDouble();
+    const bool hot = x < 0.25 && y < 0.25;
+    data.AddRow({x, y}, hot ? rng.UniformDouble(0.0, 1000.0) : 1.0);
+  }
+  KdBuildOptions kd = BaseOptions(2, 64, KdExpansion::kMaxVariance);
+  kd.optimize_for = AggregateType::kSum;
+  kd.max_depth_imbalance = 1000;  // let greed run free
+  const KdBuildResult greedy = BuildKdPartition(data, kd);
+  size_t hot_leaves = 0;
+  for (const int32_t leaf : greedy.tree.leaves()) {
+    const Rect& b = greedy.tree.node(leaf).data_bounds;
+    if (b.dim(0).hi <= 0.26 && b.dim(1).hi <= 0.26) ++hot_leaves;
+  }
+  // The hot corner is 1/16 of the area; greed should allocate well over
+  // 1/16 of the leaves (= 4) to it.
+  EXPECT_GE(hot_leaves, 8u);
+}
+
+TEST(KdBuilder, SingleLeafDegenerate) {
+  const Dataset data = MakeUniform(100, 37);
+  const KdBuildResult result =
+      BuildKdPartition(data, BaseOptions(1, 1, KdExpansion::kMaxVariance));
+  EXPECT_EQ(result.tree.NumLeaves(), 1u);
+  EXPECT_EQ(result.tree.NumNodes(), 1u);
+}
+
+TEST(KdBuilder, PartitionSubsetOfDims) {
+  // Partition only on dim 0 of a 5-dim dataset: conditions on other dims
+  // stay unbounded, data bounds stay tight.
+  const Dataset data = MakeTaxiLike(5000, 38);
+  KdBuildOptions kd;
+  kd.partition_dims = {0};
+  kd.max_leaves = 8;
+  kd.expansion = KdExpansion::kBreadthFirst;
+  const KdBuildResult result = BuildKdPartition(data, kd);
+  for (const int32_t leaf : result.tree.leaves()) {
+    const Rect& cond = result.tree.node(leaf).condition;
+    for (size_t dim = 1; dim < 5; ++dim) {
+      EXPECT_EQ(cond.dim(dim), Interval::All());
+    }
+    EXPECT_TRUE(std::isfinite(
+        result.tree.node(leaf).data_bounds.dim(1).lo));
+  }
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,129 @@
+#include "geom/kd_split.h"
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+struct SplitFixture {
+  std::vector<std::vector<double>> cols;
+  std::vector<const std::vector<double>*> col_ptrs;
+  std::vector<uint32_t> perm;
+
+  SplitFixture(size_t d, size_t n, uint64_t seed) {
+    Rng rng(seed);
+    cols.resize(d);
+    for (auto& col : cols) {
+      col.resize(n);
+      for (auto& v : col) v = rng.UniformDouble(0.0, 100.0);
+    }
+    for (const auto& col : cols) col_ptrs.push_back(&col);
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+  }
+};
+
+TEST(MultiSplit, TwoDimsProducesUpToFourDisjointChildren) {
+  SplitFixture f(2, 200, 21);
+  const Rect parent = Rect::All(2);
+  const auto children = MultiSplit(f.col_ptrs, &f.perm, 0, 200, parent);
+  ASSERT_GE(children.size(), 2u);
+  ASSERT_LE(children.size(), 4u);
+  // Slices tile [0, 200).
+  size_t cursor = 0;
+  for (const auto& c : children) {
+    EXPECT_EQ(c.begin, cursor);
+    EXPECT_GT(c.end, c.begin);
+    cursor = c.end;
+  }
+  EXPECT_EQ(cursor, 200u);
+  // Conditions are pairwise disjoint and rows land inside their condition.
+  for (size_t i = 0; i < children.size(); ++i) {
+    for (size_t j = i + 1; j < children.size(); ++j) {
+      EXPECT_FALSE(children[i].condition.Intersects(children[j].condition));
+    }
+    for (size_t p = children[i].begin; p < children[i].end; ++p) {
+      const uint32_t row = f.perm[p];
+      EXPECT_TRUE(children[i].condition.ContainsPoint(
+          {f.cols[0][row], f.cols[1][row]}));
+    }
+  }
+}
+
+TEST(MultiSplit, PermutationIsPreservedAsMultiset) {
+  SplitFixture f(3, 100, 22);
+  std::vector<uint32_t> before = f.perm;
+  const auto children =
+      MultiSplit(f.col_ptrs, &f.perm, 0, 100, Rect::All(3));
+  (void)children;
+  std::vector<uint32_t> after = f.perm;
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(MultiSplit, HalvesAreBalancedIn1D) {
+  SplitFixture f(1, 101, 23);
+  const auto children =
+      MultiSplit(f.col_ptrs, &f.perm, 0, 101, Rect::All(1));
+  ASSERT_EQ(children.size(), 2u);
+  const size_t left = children[0].end - children[0].begin;
+  const size_t right = children[1].end - children[1].begin;
+  EXPECT_NEAR(static_cast<double>(left), 50.5, 1.5);
+  EXPECT_EQ(left + right, 101u);
+}
+
+TEST(MultiSplit, ChildConditionsNestInParent) {
+  SplitFixture f(2, 80, 24);
+  Rect parent(2);
+  parent.dim(0) = {0.0, 100.0};
+  parent.dim(1) = {0.0, 100.0};
+  const auto children = MultiSplit(f.col_ptrs, &f.perm, 0, 80, parent);
+  for (const auto& c : children) {
+    EXPECT_TRUE(parent.ContainsRect(c.condition));
+  }
+}
+
+TEST(MultiSplit, IdenticalPointsAreUnsplittable) {
+  std::vector<std::vector<double>> cols{{5.0, 5.0, 5.0, 5.0}};
+  std::vector<const std::vector<double>*> ptrs{&cols[0]};
+  std::vector<uint32_t> perm{0, 1, 2, 3};
+  const auto children = MultiSplit(ptrs, &perm, 0, 4, Rect::All(1));
+  EXPECT_EQ(children.size(), 1u);
+}
+
+TEST(MultiSplit, SubSliceOnly) {
+  SplitFixture f(1, 50, 25);
+  const auto children =
+      MultiSplit(f.col_ptrs, &f.perm, 10, 30, Rect::All(1));
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children.front().begin, 10u);
+  EXPECT_EQ(children.back().end, 30u);
+}
+
+TEST(SliceMedian, LowerMedianOfKnownValues) {
+  std::vector<double> col{9.0, 1.0, 5.0, 3.0, 7.0};
+  std::vector<uint32_t> perm{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(SliceMedian(col, perm, 0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(SliceMedian(col, perm, 0, 4), 5.0);  // {9,1,5,3} -> 5
+}
+
+TEST(SliceBounds, TightBox) {
+  std::vector<double> col0{1.0, 4.0, 2.0};
+  std::vector<double> col1{-1.0, 0.0, 3.0};
+  std::vector<const std::vector<double>*> ptrs{&col0, &col1};
+  std::vector<uint32_t> perm{0, 1, 2};
+  const Rect bounds = SliceBounds(ptrs, perm, 0, 3);
+  EXPECT_DOUBLE_EQ(bounds.dim(0).lo, 1.0);
+  EXPECT_DOUBLE_EQ(bounds.dim(0).hi, 4.0);
+  EXPECT_DOUBLE_EQ(bounds.dim(1).lo, -1.0);
+  EXPECT_DOUBLE_EQ(bounds.dim(1).hi, 3.0);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,133 @@
+#include "partition/max_variance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+std::vector<double> RandomValues(size_t n, uint64_t seed, double lo,
+                                 double hi) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble(lo, hi);
+  return v;
+}
+
+TEST(ExactMaxVariance, FindsTheSpikeForSum) {
+  // Constant values except one large spike: the max-variance SUM query is
+  // any window containing the spike plus a flat element.
+  std::vector<double> v(50, 1.0);
+  v[20] = 100.0;
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const MaxVarQuery best =
+      ExactMaxVariance(var, AggregateType::kSum, 0, 50, 2);
+  EXPECT_LE(best.begin, 20u);
+  EXPECT_GT(best.end, 20u);
+  EXPECT_GT(best.variance, 0.0);
+}
+
+TEST(ExactMaxVariance, ConstantDataMatchesClosedForm) {
+  // Constant values still carry *selectivity* uncertainty: for t == c the
+  // SUM variance is c^2 * q(n-q)/n (max at q = n/2) and the AVG variance is
+  // c^2 (n-q)/(n q) (max at the smallest meaningful q). This is exactly why
+  // the 0-variance rule applies to AVG estimation, not to the optimizer.
+  std::vector<double> v(30, 4.0);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  EXPECT_DOUBLE_EQ(
+      ExactMaxVariance(var, AggregateType::kSum, 0, 30, 1).variance,
+      16.0 * 15.0 * 15.0 / 30.0);
+  EXPECT_DOUBLE_EQ(
+      ExactMaxVariance(var, AggregateType::kAvg, 0, 30, 1).variance,
+      16.0 * 29.0 / 30.0);
+}
+
+TEST(ExactMaxVariance, RespectsMinQueryLength) {
+  std::vector<double> v = RandomValues(40, 3, 0.0, 10.0);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const MaxVarQuery best =
+      ExactMaxVariance(var, AggregateType::kAvg, 5, 35, 6);
+  EXPECT_GE(best.end - best.begin, 6u);
+  EXPECT_GE(best.begin, 5u);
+  EXPECT_LE(best.end, 35u);
+}
+
+TEST(MedianSplitMaxVariance, WithinFactorFourOfExact) {
+  // Lemma A.3: the median-split oracle is a 4-approximation.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<double> v = RandomValues(60, seed * 11 + 1, 0.0, 50.0);
+    PrefixSums prefix(v);
+    SampleVariance var(&prefix, 1.0);
+    for (const auto agg : {AggregateType::kSum, AggregateType::kCount}) {
+      const double exact =
+          ExactMaxVariance(var, agg, 0, v.size(), 1).variance;
+      const double approx =
+          MedianSplitMaxVariance(var, agg, 0, v.size()).variance;
+      EXPECT_LE(approx, exact + 1e-9) << "seed " << seed;
+      EXPECT_GE(approx, exact / 4.0 - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MedianSplitMaxVariance, TinyPartitionsAreZero) {
+  std::vector<double> v{1.0};
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  EXPECT_DOUBLE_EQ(
+      MedianSplitMaxVariance(var, AggregateType::kSum, 0, 1).variance, 0.0);
+}
+
+TEST(AvgWindowOracle, MatchesBestFixedWindowByHand) {
+  //            0    1    2    3     4    5
+  std::vector<double> v{1.0, 1.0, 1.0, 9.0, 9.0, 1.0};
+  PrefixSums prefix(v);
+  const AvgWindowOracle oracle(&prefix, 2);
+  const MaxVarQuery best = oracle.Query(0, 6);
+  // The window with max sum-of-squares is [3, 5).
+  EXPECT_EQ(best.begin, 3u);
+  EXPECT_EQ(best.end, 5u);
+  // V = (n*ss - s^2) / (n*w^2) with n=6, w=2, ss=162, s=18.
+  EXPECT_NEAR(best.variance, (6.0 * 162.0 - 324.0) / (6.0 * 4.0), 1e-9);
+}
+
+TEST(AvgWindowOracle, SmallPartitionsReportZero) {
+  std::vector<double> v = RandomValues(10, 4, 0.0, 5.0);
+  PrefixSums prefix(v);
+  const AvgWindowOracle oracle(&prefix, 4);
+  EXPECT_DOUBLE_EQ(oracle.Query(0, 7).variance, 0.0);  // n < 2w
+}
+
+TEST(AvgWindowOracle, WithinFactorFourOfExactWindowConstrained) {
+  // Lemma A.5: against the exact max over *meaningful* AVG queries (those
+  // with >= window elements), the fixed-window scan is a 4-approximation.
+  const size_t window = 4;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<double> v = RandomValues(64, seed * 17 + 3, 0.0, 30.0);
+    PrefixSums prefix(v);
+    SampleVariance var(&prefix, 1.0);
+    const AvgWindowOracle oracle(&prefix, window);
+    const double exact =
+        ExactMaxVariance(var, AggregateType::kAvg, 0, v.size(), window)
+            .variance;
+    const double approx = oracle.Query(0, v.size()).variance;
+    EXPECT_GE(approx, exact / 4.0 - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(AvgWindowOracle, SubPartitionQueriesStayInside) {
+  std::vector<double> v = RandomValues(100, 5, 0.0, 10.0);
+  PrefixSums prefix(v);
+  const AvgWindowOracle oracle(&prefix, 5);
+  const MaxVarQuery best = oracle.Query(20, 60);
+  EXPECT_GE(best.begin, 20u);
+  EXPECT_LE(best.end, 60u);
+  EXPECT_EQ(best.end - best.begin, 5u);
+}
+
+}  // namespace
+}  // namespace pass

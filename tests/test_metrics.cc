@@ -1,0 +1,127 @@
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/workload.h"
+#include "harness/table_printer.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+/// A fake system that answers every query with truth * (1 + bias) and a
+/// fixed CI half-width fraction.
+class FakeSystem final : public AqpSystem {
+ public:
+  FakeSystem(const Dataset& data, double bias, double ci_frac)
+      : data_(data), bias_(bias), ci_frac_(ci_frac) {}
+
+  QueryAnswer Answer(const Query& query) const override {
+    const ExactResult truth = ExactAnswer(data_, query);
+    QueryAnswer out;
+    out.estimate.value = truth.value * (1.0 + bias_);
+    const double half = std::abs(truth.value) * ci_frac_;
+    out.estimate.variance = (half / 2.576) * (half / 2.576);
+    out.hard_lb = truth.value - 10.0 * std::abs(truth.value) - 1.0;
+    out.hard_ub = truth.value + 10.0 * std::abs(truth.value) + 1.0;
+    out.population_rows = data_.NumRows();
+    out.population_rows_skipped = data_.NumRows() / 2;
+    out.sample_rows_scanned = 100;
+    return out;
+  }
+  std::string Name() const override { return "fake"; }
+  SystemCosts Costs() const override { return {1.5, 4096}; }
+
+ private:
+  const Dataset& data_;
+  double bias_;
+  double ci_frac_;
+};
+
+TEST(Metrics, GroundTruthMatchesExactAnswer) {
+  const Dataset data = MakeUniform(2000, 30);
+  WorkloadOptions wl;
+  wl.count = 10;
+  const auto queries = RandomRangeQueries(data, wl);
+  const auto truths = ComputeGroundTruth(data, queries);
+  ASSERT_EQ(truths.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ExactResult direct = ExactAnswer(data, queries[i]);
+    EXPECT_DOUBLE_EQ(truths[i].value, direct.value);
+    EXPECT_EQ(truths[i].matched, direct.matched);
+  }
+}
+
+TEST(Metrics, BiasShowsUpAsRelativeError) {
+  const Dataset data = MakeUniform(5000, 31, 5.0, 6.0);
+  const FakeSystem fake(data, 0.02, 0.1);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 50;
+  const auto queries = RandomRangeQueries(data, wl);
+  const auto truths = ComputeGroundTruth(data, queries);
+  const RunSummary summary = EvaluateSystem(fake, queries, truths);
+  EXPECT_NEAR(summary.median_rel_error, 0.02, 1e-9);
+  EXPECT_NEAR(summary.mean_rel_error, 0.02, 1e-9);
+  EXPECT_NEAR(summary.median_ci_ratio, 0.1, 1e-9);
+  EXPECT_NEAR(summary.mean_skip_rate, 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.hard_coverage, 1.0);
+  EXPECT_EQ(summary.costs.storage_bytes, 4096u);
+}
+
+TEST(Metrics, CiCoverageReflectsWidth) {
+  const Dataset data = MakeUniform(5000, 32, 5.0, 6.0);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 40;
+  const auto queries = RandomRangeQueries(data, wl);
+  const auto truths = ComputeGroundTruth(data, queries);
+  // 2% bias with 10% CI: always covered. 20% bias with 1% CI: never.
+  const FakeSystem good(data, 0.02, 0.1);
+  const FakeSystem bad(data, 0.20, 0.01);
+  EXPECT_DOUBLE_EQ(EvaluateSystem(good, queries, truths).ci_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(EvaluateSystem(bad, queries, truths).ci_coverage, 0.0);
+}
+
+TEST(Metrics, SkipsZeroTruthQueries) {
+  Dataset data("v", {"x"});
+  for (int i = 0; i < 100; ++i) data.AddRow({static_cast<double>(i)}, 0.0);
+  const FakeSystem fake(data, 0.5, 0.1);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 10;
+  const auto queries = RandomRangeQueries(data, wl);
+  const auto truths = ComputeGroundTruth(data, queries);
+  const RunSummary summary = EvaluateSystem(fake, queries, truths);
+  EXPECT_EQ(summary.num_scored, 0u);
+  EXPECT_EQ(summary.num_queries, 10u);
+}
+
+TEST(TablePrinter, RendersAllCells) {
+  TablePrinter table({"col_a", "col_b"});
+  table.AddRow({"1", "two"});
+  table.AddRow({"three", "4"});
+  // Smoke: printing to a memstream captures every cell.
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* mem = open_memstream(&buffer, &size);
+  table.Print(mem);
+  std::fclose(mem);
+  const std::string out(buffer, size);
+  free(buffer);
+  for (const char* cell : {"col_a", "col_b", "1", "two", "three", "4"}) {
+    EXPECT_NE(out.find(cell), std::string::npos) << cell;
+  }
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(FormatPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.0MB");
+}
+
+}  // namespace
+}  // namespace pass

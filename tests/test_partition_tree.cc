@@ -1,0 +1,189 @@
+#include "core/partition_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+/// Hand-built 1-D tree over values 0..11 split into 4 leaves of 3 rows,
+/// with a 2-level hierarchy. Aggregate value = predicate value.
+class SmallTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Leaves: [0,3), [3,6), [6,9), [9,12).
+    for (int leaf = 0; leaf < 4; ++leaf) {
+      PartitionTree::Node node;
+      node.condition = Rect(1);
+      node.condition.dim(0) = {leaf * 3.0 - 0.5, leaf * 3.0 + 2.4};
+      node.data_bounds = Rect(1);
+      node.data_bounds.dim(0) = {leaf * 3.0, leaf * 3.0 + 2.0};
+      for (int i = 0; i < 3; ++i) node.stats.Add(leaf * 3.0 + i);
+      leaf_ids_[leaf] = tree_.AddNode(std::move(node));
+    }
+    for (int p = 0; p < 2; ++p) {
+      PartitionTree::Node node;
+      node.condition = Rect(1);
+      node.condition.dim(0) = {p * 6.0 - 0.5, p * 6.0 + 5.4};
+      node.data_bounds = Rect(1);
+      node.data_bounds.dim(0) = {p * 6.0, p * 6.0 + 5.0};
+      node.stats.Merge(tree_.node(leaf_ids_[p * 2]).stats);
+      node.stats.Merge(tree_.node(leaf_ids_[p * 2 + 1]).stats);
+      mid_ids_[p] = tree_.AddNode(std::move(node));
+      tree_.AddChild(mid_ids_[p], leaf_ids_[p * 2]);
+      tree_.AddChild(mid_ids_[p], leaf_ids_[p * 2 + 1]);
+    }
+    PartitionTree::Node root;
+    root.condition = Rect::All(1);
+    root.data_bounds = Rect(1);
+    root.data_bounds.dim(0) = {0.0, 11.0};
+    root.stats.Merge(tree_.node(mid_ids_[0]).stats);
+    root.stats.Merge(tree_.node(mid_ids_[1]).stats);
+    root_ = tree_.AddNode(std::move(root));
+    tree_.AddChild(root_, mid_ids_[0]);
+    tree_.AddChild(root_, mid_ids_[1]);
+    tree_.SetRoot(root_);
+    tree_.FinalizeLeaves();
+  }
+
+  Rect Range(double lo, double hi) {
+    Rect r(1);
+    r.dim(0) = {lo, hi};
+    return r;
+  }
+
+  PartitionTree tree_;
+  int32_t leaf_ids_[4];
+  int32_t mid_ids_[2];
+  int32_t root_;
+};
+
+TEST_F(SmallTreeTest, StructureBasics) {
+  EXPECT_EQ(tree_.NumNodes(), 7u);
+  EXPECT_EQ(tree_.NumLeaves(), 4u);
+  EXPECT_EQ(tree_.Height(), 2u);
+  EXPECT_TRUE(tree_.ValidateInvariants().ok())
+      << tree_.ValidateInvariants().ToString();
+}
+
+TEST_F(SmallTreeTest, LeafIdsAreDenseAndDfsOrdered) {
+  for (size_t i = 0; i < 4; ++i) {
+    const int32_t node_id = tree_.leaves()[i];
+    EXPECT_EQ(tree_.node(node_id).leaf_id, static_cast<int32_t>(i));
+  }
+  // DFS order matches left-to-right construction order here.
+  EXPECT_EQ(tree_.leaves()[0], leaf_ids_[0]);
+  EXPECT_EQ(tree_.leaves()[3], leaf_ids_[3]);
+}
+
+TEST_F(SmallTreeTest, McfAlignedQueryIsFullyCovered) {
+  // [0, 5] covers exactly the first two leaves -> one covered mid node.
+  const auto f = tree_.ComputeMcf(Range(0.0, 5.0));
+  EXPECT_EQ(f.partial.size(), 0u);
+  ASSERT_EQ(f.covered.size(), 1u);
+  EXPECT_EQ(f.covered[0], mid_ids_[0]);
+}
+
+TEST_F(SmallTreeTest, McfDisjointQueryTouchesNothing) {
+  const auto f = tree_.ComputeMcf(Range(100.0, 200.0));
+  EXPECT_TRUE(f.covered.empty());
+  EXPECT_TRUE(f.partial.empty());
+  EXPECT_EQ(f.nodes_visited, 1u);  // root rejects immediately
+}
+
+TEST_F(SmallTreeTest, McfPartialOverlapReturnsLeaves) {
+  // [1, 7] partially covers leaf 0 ([0,2]) and leaf 2 ([6,8]), fully
+  // covers leaf 1 ([3,5]).
+  const auto f = tree_.ComputeMcf(Range(1.0, 7.0));
+  ASSERT_EQ(f.covered.size(), 1u);
+  EXPECT_EQ(f.covered[0], leaf_ids_[1]);
+  ASSERT_EQ(f.partial.size(), 2u);
+  EXPECT_EQ(f.partial[0], leaf_ids_[0]);
+  EXPECT_EQ(f.partial[1], leaf_ids_[2]);
+}
+
+TEST_F(SmallTreeTest, McfWholeDomainIsRootOnly) {
+  const auto f = tree_.ComputeMcf(Range(-10.0, 100.0));
+  ASSERT_EQ(f.covered.size(), 1u);
+  EXPECT_EQ(f.covered[0], root_);
+  EXPECT_EQ(f.nodes_visited, 1u);
+}
+
+TEST_F(SmallTreeTest, ClassifySingleNodes) {
+  EXPECT_EQ(tree_.Classify(leaf_ids_[0], Range(0.0, 2.0)),
+            PartitionTree::Coverage::kCover);
+  EXPECT_EQ(tree_.Classify(leaf_ids_[0], Range(1.0, 2.0)),
+            PartitionTree::Coverage::kPartial);
+  EXPECT_EQ(tree_.Classify(leaf_ids_[0], Range(50.0, 60.0)),
+            PartitionTree::Coverage::kNone);
+}
+
+TEST_F(SmallTreeTest, ZeroVarianceRuleRoutesConstantNodes) {
+  // Rebuild leaf 0 with constant values.
+  PartitionTree::Node& leaf = tree_.mutable_node(leaf_ids_[0]);
+  leaf.stats = AggregateStats();
+  for (int i = 0; i < 3; ++i) leaf.stats.Add(7.0);
+  // Partial overlap of leaf 0 only.
+  const auto without = tree_.ComputeMcf(Range(0.5, 1.5), false);
+  ASSERT_EQ(without.partial.size(), 1u);
+  EXPECT_TRUE(without.zero_var.empty());
+  const auto with = tree_.ComputeMcf(Range(0.5, 1.5), true);
+  EXPECT_TRUE(with.partial.empty());
+  ASSERT_EQ(with.zero_var.size(), 1u);
+  EXPECT_EQ(with.zero_var[0], leaf_ids_[0]);
+}
+
+TEST_F(SmallTreeTest, RouteToLeafByCondition) {
+  EXPECT_EQ(tree_.RouteToLeaf({1.0}), leaf_ids_[0]);
+  EXPECT_EQ(tree_.RouteToLeaf({4.0}), leaf_ids_[1]);
+  EXPECT_EQ(tree_.RouteToLeaf({11.0}), leaf_ids_[3]);
+}
+
+TEST_F(SmallTreeTest, ValidateCatchesBrokenAggregates) {
+  tree_.mutable_node(mid_ids_[0]).stats.sum += 100.0;
+  EXPECT_FALSE(tree_.ValidateInvariants().ok());
+}
+
+TEST_F(SmallTreeTest, ValidateCatchesOverlappingSiblings) {
+  tree_.mutable_node(leaf_ids_[1]).condition.dim(0).lo = 0.0;
+  EXPECT_FALSE(tree_.ValidateInvariants().ok());
+}
+
+TEST(PartitionTreeBuilt, BuilderTreesSatisfyInvariants) {
+  const Dataset data = MakeUniform(5000, 77);
+  for (const auto strategy :
+       {PartitionStrategy::kEqualDepth, PartitionStrategy::kEqualWidth,
+        PartitionStrategy::kAdp}) {
+    BuildOptions options;
+    options.strategy = strategy;
+    options.num_leaves = 16;
+    options.opt_sample_size = 1000;
+    const Synopsis s = testing::MustBuild(data, options);
+    EXPECT_TRUE(s.tree().ValidateInvariants().ok())
+        << StrategyName(strategy) << ": "
+        << s.tree().ValidateInvariants().ToString();
+    EXPECT_GE(s.tree().NumLeaves(), 2u);
+    EXPECT_LE(s.tree().NumLeaves(), 16u);
+  }
+}
+
+TEST(PartitionTreeBuilt, McfVisitBoundLogarithmic) {
+  // For a selective query overlapping gamma leaves, visited nodes should be
+  // O(gamma * log B) (Section 3.2).
+  const Dataset data = MakeUniform(20000, 78);
+  BuildOptions options;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  options.num_leaves = 128;
+  const Synopsis s = testing::MustBuild(data, options);
+  Rect narrow(1);
+  narrow.dim(0) = {0.41, 0.42};  // ~2 leaves wide
+  const auto f = s.tree().ComputeMcf(narrow);
+  const double log_b = std::log2(static_cast<double>(s.tree().NumLeaves()));
+  const double gamma = static_cast<double>(f.partial.size() + 1);
+  EXPECT_LE(f.nodes_visited, static_cast<uint32_t>(4.0 * gamma * log_b + 8));
+}
+
+}  // namespace
+}  // namespace pass

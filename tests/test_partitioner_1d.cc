@@ -1,0 +1,218 @@
+#include "partition/partitioner_1d.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+#include "partition/hierarchy.h"
+
+namespace pass {
+namespace {
+
+std::vector<double> RandomValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.UniformDouble(0.0, 100.0);
+  return v;
+}
+
+/// Brute-force optimal max-variance objective over all partitionings of m
+/// items into at most k parts (exponential; tiny m only).
+double BruteForceOptimal(const SampleVariance& var, AggregateType agg,
+                         size_t m, size_t k, size_t min_query) {
+  // Enumerate cut bitmasks over the m-1 possible cut positions.
+  double best = std::numeric_limits<double>::infinity();
+  const size_t positions = m - 1;
+  for (uint64_t mask = 0; mask < (1ull << positions); ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) + 1 > k) continue;
+    double worst = 0.0;
+    size_t begin = 0;
+    for (size_t p = 0; p <= positions; ++p) {
+      const bool cut = p == positions || (mask >> p) & 1;
+      if (!cut) continue;
+      const size_t end = p + 1;
+      worst = std::max(
+          worst, ExactMaxVariance(var, agg, begin, end, min_query).variance);
+      begin = end;
+    }
+    best = std::min(best, worst);
+  }
+  return best;
+}
+
+TEST(EqualDepthBoundaries, EvenSplit) {
+  const auto cuts = EqualDepthBoundaries(100, 4);
+  ASSERT_EQ(cuts.size(), 5u);
+  EXPECT_EQ(cuts[0], 0u);
+  EXPECT_EQ(cuts[1], 25u);
+  EXPECT_EQ(cuts[4], 100u);
+}
+
+TEST(EqualDepthBoundaries, UnevenSplitCoversAll) {
+  const auto cuts = EqualDepthBoundaries(10, 3);
+  EXPECT_EQ(cuts.front(), 0u);
+  EXPECT_EQ(cuts.back(), 10u);
+  for (size_t i = 1; i < cuts.size(); ++i) EXPECT_GE(cuts[i], cuts[i - 1]);
+}
+
+TEST(EqualDepthBoundaries, MorePartsThanItems) {
+  const auto cuts = EqualDepthBoundaries(3, 8);
+  EXPECT_EQ(cuts.front(), 0u);
+  EXPECT_EQ(cuts.back(), 3u);
+}
+
+TEST(NaiveDp, MatchesBruteForceOptimum) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::vector<double> v = RandomValues(12, seed);
+    PrefixSums prefix(v);
+    SampleVariance var(&prefix, 1.0);
+    for (const auto agg : {AggregateType::kSum, AggregateType::kAvg}) {
+      for (const size_t k : {2u, 3u}) {
+        const DpResult dp = NaiveDpPartition1D(var, agg, v.size(), k, 1);
+        const double brute = BruteForceOptimal(var, agg, v.size(), k, 1);
+        EXPECT_NEAR(dp.objective, brute, 1e-9 * (1.0 + brute))
+            << "seed=" << seed << " agg=" << AggregateName(agg)
+            << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(NaiveDp, BoundariesAreConsistentWithObjective) {
+  const std::vector<double> v = RandomValues(20, 9);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const DpResult dp = NaiveDpPartition1D(var, AggregateType::kSum, 20, 4, 1);
+  ASSERT_GE(dp.boundaries.size(), 2u);
+  EXPECT_EQ(dp.boundaries.front(), 0u);
+  EXPECT_EQ(dp.boundaries.back(), 20u);
+  EXPECT_LE(dp.boundaries.size(), 5u);
+  double worst = 0.0;
+  for (size_t i = 0; i + 1 < dp.boundaries.size(); ++i) {
+    worst = std::max(worst,
+                     ExactMaxVariance(var, AggregateType::kSum,
+                                      dp.boundaries[i], dp.boundaries[i + 1],
+                                      1)
+                         .variance);
+  }
+  EXPECT_NEAR(worst, dp.objective, 1e-9 * (1.0 + worst));
+}
+
+TEST(MonotoneDp, MatchesNaiveWithExactOracle) {
+  // With the same (exact) oracle the binary-search DP must find solutions
+  // of (near-)equal objective; monotonicity guarantees exactness.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::vector<double> v = RandomValues(30, seed * 3 + 1);
+    PrefixSums prefix(v);
+    SampleVariance var(&prefix, 1.0);
+    const auto oracle = [&](size_t b, size_t e) {
+      return ExactMaxVariance(var, AggregateType::kSum, b, e, 1);
+    };
+    for (const size_t k : {2u, 4u}) {
+      const DpResult fast = DpPartition1D(30, k, oracle);
+      const DpResult naive =
+          NaiveDpPartition1D(var, AggregateType::kSum, 30, k, 1);
+      EXPECT_NEAR(fast.objective, naive.objective,
+                  1e-9 * (1.0 + naive.objective))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(MonotoneDp, ApproxOracleWithinTheoreticalFactor) {
+  // ADP with the median-split oracle: the resulting partitioning's true
+  // objective is at most 4x the optimum (Lemma A.3 + A.6 with alpha=1/4).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::vector<double> v = RandomValues(40, seed * 7 + 2);
+    PrefixSums prefix(v);
+    SampleVariance var(&prefix, 1.0);
+    const auto approx_oracle = [&](size_t b, size_t e) {
+      return MedianSplitMaxVariance(var, AggregateType::kSum, b, e);
+    };
+    const size_t k = 4;
+    const DpResult adp = DpPartition1D(40, k, approx_oracle);
+    const DpResult opt =
+        NaiveDpPartition1D(var, AggregateType::kSum, 40, k, 1);
+    // Evaluate the ADP partitioning under the *exact* oracle.
+    double adp_true = 0.0;
+    for (size_t i = 0; i + 1 < adp.boundaries.size(); ++i) {
+      adp_true = std::max(
+          adp_true, ExactMaxVariance(var, AggregateType::kSum,
+                                     adp.boundaries[i],
+                                     adp.boundaries[i + 1], 1)
+                        .variance);
+    }
+    EXPECT_LE(adp_true, 4.0 * opt.objective + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(MonotoneDp, SinglePartitionIsWholeRange) {
+  const std::vector<double> v = RandomValues(10, 77);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const auto oracle = [&](size_t b, size_t e) {
+    return ExactMaxVariance(var, AggregateType::kSum, b, e, 1);
+  };
+  const DpResult dp = DpPartition1D(10, 1, oracle);
+  ASSERT_EQ(dp.boundaries.size(), 2u);
+  EXPECT_EQ(dp.boundaries[0], 0u);
+  EXPECT_EQ(dp.boundaries[1], 10u);
+}
+
+TEST(MonotoneDp, MorePartitionsNeverHurt) {
+  const std::vector<double> v = RandomValues(60, 13);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const auto oracle = [&](size_t b, size_t e) {
+    return ExactMaxVariance(var, AggregateType::kSum, b, e, 1);
+  };
+  double prev = std::numeric_limits<double>::infinity();
+  for (const size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const DpResult dp = DpPartition1D(60, k, oracle);
+    EXPECT_LE(dp.objective, prev + 1e-9) << "k=" << k;
+    prev = dp.objective;
+  }
+}
+
+TEST(MonotoneDp, CountObjectiveEqualSizedPartitions) {
+  // Lemma A.1: optimal COUNT partitions have equal sizes; the DP should
+  // reach the same objective as equal-depth cuts.
+  const size_t m = 64;
+  std::vector<double> v(m, 1.0);
+  PrefixSums prefix(v);
+  SampleVariance var(&prefix, 1.0);
+  const auto oracle = [&](size_t b, size_t e) {
+    return ExactMaxVariance(var, AggregateType::kCount, b, e, 1);
+  };
+  const DpResult dp = DpPartition1D(m, 4, oracle);
+  double eq_obj = 0.0;
+  const auto eq = EqualDepthBoundaries(m, 4);
+  for (size_t i = 0; i + 1 < eq.size(); ++i) {
+    eq_obj = std::max(eq_obj,
+                      ExactMaxVariance(var, AggregateType::kCount, eq[i],
+                                       eq[i + 1], 1)
+                          .variance);
+  }
+  EXPECT_NEAR(dp.objective, eq_obj, 1e-9 * (1.0 + eq_obj));
+}
+
+TEST(SnapToValueChange, SnapsInsideDuplicateRuns) {
+  //                     0    1    2    3    4    5
+  std::vector<double> col{1.0, 2.0, 2.0, 2.0, 3.0, 4.0};
+  std::vector<uint32_t> perm{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(SnapToValueChange(col, perm, 2), 1u);  // nearest change
+  EXPECT_EQ(SnapToValueChange(col, perm, 3), 4u);
+  EXPECT_EQ(SnapToValueChange(col, perm, 1), 1u);  // already a change
+  EXPECT_EQ(SnapToValueChange(col, perm, 0), 0u);
+  EXPECT_EQ(SnapToValueChange(col, perm, 6), 6u);
+}
+
+TEST(SnapToValueChange, AllDuplicatesCollapseToEdge) {
+  std::vector<double> col{5.0, 5.0, 5.0, 5.0};
+  std::vector<uint32_t> perm{0, 1, 2, 3};
+  const size_t snapped = SnapToValueChange(col, perm, 2);
+  EXPECT_TRUE(snapped == 0 || snapped == 4);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,103 @@
+#include "stats/prefix_sums.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+TEST(PrefixSums, EmptyIsEmpty) {
+  PrefixSums p{std::vector<double>{}};
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PrefixSums, SingleElement) {
+  PrefixSums p{std::vector<double>{3.0}};
+  EXPECT_DOUBLE_EQ(p.Sum(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(p.SumSq(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(p.Variance(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p.Mean(0, 1), 3.0);
+}
+
+TEST(PrefixSums, EmptyRangeIsZero) {
+  PrefixSums p{std::vector<double>{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(p.Sum(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p.SumSq(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p.Mean(1, 1), 0.0);
+}
+
+TEST(PrefixSums, MatchesNaiveOnRandomData) {
+  Rng rng(5);
+  std::vector<double> v(200);
+  for (auto& x : v) x = rng.UniformDouble(-10.0, 10.0);
+  PrefixSums p(v);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t a = static_cast<size_t>(rng.Below(v.size() + 1));
+    size_t b = static_cast<size_t>(rng.Below(v.size() + 1));
+    if (a > b) std::swap(a, b);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = a; i < b; ++i) {
+      sum += v[i];
+      sum_sq += v[i] * v[i];
+    }
+    EXPECT_NEAR(p.Sum(a, b), sum, 1e-9);
+    EXPECT_NEAR(p.SumSq(a, b), sum_sq, 1e-9);
+  }
+}
+
+TEST(PrefixSums, VarianceMatchesNaive) {
+  Rng rng(6);
+  std::vector<double> v(150);
+  for (auto& x : v) x = rng.UniformDouble(0.0, 100.0);
+  PrefixSums p(v);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t a = static_cast<size_t>(rng.Below(v.size()));
+    size_t b = a + 2 + static_cast<size_t>(rng.Below(v.size() - a));
+    b = std::min(b, v.size());
+    double mean = 0.0;
+    for (size_t i = a; i < b; ++i) mean += v[i];
+    mean /= static_cast<double>(b - a);
+    double var = 0.0;
+    for (size_t i = a; i < b; ++i) var += (v[i] - mean) * (v[i] - mean);
+    var /= static_cast<double>(b - a);
+    EXPECT_NEAR(p.Variance(a, b), var, 1e-7 * (1.0 + var));
+  }
+}
+
+TEST(PrefixSums, VarianceOfConstantIsZero) {
+  PrefixSums p{std::vector<double>(50, 7.5)};
+  EXPECT_DOUBLE_EQ(p.Variance(0, 50), 0.0);
+  EXPECT_DOUBLE_EQ(p.Variance(10, 30), 0.0);
+}
+
+TEST(PrefixSums, VarianceNeverNegative) {
+  // Large offset stresses catastrophic cancellation; the clamp must hold.
+  std::vector<double> v(100, 1e9);
+  v[50] = 1e9 + 1e-3;
+  PrefixSums p(v);
+  EXPECT_GE(p.Variance(0, 100), 0.0);
+}
+
+TEST(PrefixSums, SpreadStatMatchesDefinition) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  PrefixSums p(v);
+  // n*Σt² − (Σt)² over the whole range with n = 4: 4*30 - 100 = 20.
+  EXPECT_DOUBLE_EQ(p.SpreadStat(0, 4, 4.0), 20.0);
+  // Sub-range [1,3): values {2,3}: n=4 -> 4*13 - 25 = 27.
+  EXPECT_DOUBLE_EQ(p.SpreadStat(1, 3, 4.0), 27.0);
+}
+
+TEST(PrefixSums, SpreadStatClampedAtZero) {
+  std::vector<double> v{5.0, 5.0};
+  PrefixSums p(v);
+  // n = 1 < actual count would make it negative: 1*50 - 100 = -50 -> 0.
+  EXPECT_DOUBLE_EQ(p.SpreadStat(0, 2, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pass

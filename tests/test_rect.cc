@@ -1,0 +1,123 @@
+#include "geom/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.Empty());
+  EXPECT_FALSE(iv.Contains(0.0));
+}
+
+TEST(Interval, ContainsIsClosed) {
+  Interval iv{1.0, 3.0};
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_TRUE(iv.Contains(2.0));
+  EXPECT_FALSE(iv.Contains(0.999));
+  EXPECT_FALSE(iv.Contains(3.001));
+}
+
+TEST(Interval, ContainsIntervalAndEmpty) {
+  Interval big{0.0, 10.0};
+  Interval small{2.0, 5.0};
+  Interval empty;
+  EXPECT_TRUE(big.ContainsInterval(small));
+  EXPECT_FALSE(small.ContainsInterval(big));
+  EXPECT_TRUE(big.ContainsInterval(empty));
+  EXPECT_TRUE(small.ContainsInterval(small));
+}
+
+TEST(Interval, IntersectsIncludingTouching) {
+  EXPECT_TRUE((Interval{0.0, 2.0}).Intersects(Interval{2.0, 4.0}));
+  EXPECT_FALSE((Interval{0.0, 2.0}).Intersects(Interval{2.1, 4.0}));
+  EXPECT_FALSE(Interval{}.Intersects(Interval{0.0, 1.0}));
+}
+
+TEST(Interval, ExpandGrows) {
+  Interval iv;
+  iv.Expand(5.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 5.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 5.0);
+  iv.Expand(2.0);
+  iv.Expand(9.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 2.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 9.0);
+  EXPECT_DOUBLE_EQ(iv.Length(), 7.0);
+}
+
+TEST(Interval, AllContainsEverything) {
+  const Interval all = Interval::All();
+  EXPECT_TRUE(all.Contains(-1e308));
+  EXPECT_TRUE(all.Contains(1e308));
+  EXPECT_TRUE(all.Contains(0.0));
+}
+
+TEST(Rect, AllContainsAnyPoint) {
+  const Rect r = Rect::All(3);
+  EXPECT_TRUE(r.ContainsPoint({-1e100, 0.0, 1e100}));
+}
+
+TEST(Rect, EmptyWhenAnyDimEmpty) {
+  Rect r(2);
+  r.dim(0) = Interval{0.0, 1.0};
+  EXPECT_TRUE(r.Empty());  // dim 1 empty
+  r.dim(1) = Interval{0.0, 1.0};
+  EXPECT_FALSE(r.Empty());
+}
+
+TEST(Rect, ContainsRectPerDim) {
+  Rect outer(2);
+  outer.dim(0) = {0.0, 10.0};
+  outer.dim(1) = {0.0, 10.0};
+  Rect inner(2);
+  inner.dim(0) = {1.0, 9.0};
+  inner.dim(1) = {2.0, 3.0};
+  EXPECT_TRUE(outer.ContainsRect(inner));
+  inner.dim(1).hi = 11.0;
+  EXPECT_FALSE(outer.ContainsRect(inner));
+}
+
+TEST(Rect, IntersectsRequiresOverlapInEveryDim) {
+  Rect a(2);
+  a.dim(0) = {0.0, 5.0};
+  a.dim(1) = {0.0, 5.0};
+  Rect b(2);
+  b.dim(0) = {4.0, 8.0};
+  b.dim(1) = {6.0, 8.0};  // disjoint on dim 1
+  EXPECT_FALSE(a.Intersects(b));
+  b.dim(1) = {5.0, 8.0};  // touching counts
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(Rect, ContainsPointClosedBoundaries) {
+  Rect r(2);
+  r.dim(0) = {1.0, 2.0};
+  r.dim(1) = {3.0, 4.0};
+  EXPECT_TRUE(r.ContainsPoint({1.0, 4.0}));
+  EXPECT_FALSE(r.ContainsPoint({0.9, 3.5}));
+  EXPECT_FALSE(r.ContainsPoint({1.5, 4.1}));
+}
+
+TEST(Rect, ExpandToIncludeUnions) {
+  Rect a(1);
+  a.dim(0) = {0.0, 1.0};
+  Rect b(1);
+  b.dim(0) = {5.0, 6.0};
+  a.ExpandToInclude(b);
+  EXPECT_DOUBLE_EQ(a.dim(0).lo, 0.0);
+  EXPECT_DOUBLE_EQ(a.dim(0).hi, 6.0);
+}
+
+TEST(Rect, ToStringMentionsBounds) {
+  Rect r(1);
+  r.dim(0) = {1.5, 2.5};
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(17);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.UniformDouble();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScalesMeanAndStddev) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, LogNormalPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTable, SamplesWithinDomain) {
+  Rng rng(41);
+  ZipfTable zipf(100, 1.2);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTable, HeadIsHeavierThanTail) {
+  Rng rng(43);
+  ZipfTable zipf(1000, 1.1);
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = zipf.Sample(&rng);
+    if (v <= 10) ++head;
+    if (v > 900) ++tail;
+  }
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(ZipfTable, DegenerateSingleValue) {
+  Rng rng(47);
+  ZipfTable zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+}  // namespace
+}  // namespace pass

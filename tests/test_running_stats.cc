@@ -1,0 +1,92 @@
+#include "stats/running_stats.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveMoments) {
+  Rng rng(8);
+  std::vector<double> v(500);
+  RunningStats s;
+  for (auto& x : v) {
+    x = rng.Normal(5.0, 3.0);
+    s.Add(x);
+  }
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.PopulationVariance(), var, 1e-9);
+  EXPECT_NEAR(s.SampleVariance(),
+              var * static_cast<double>(v.size()) /
+                  static_cast<double>(v.size() - 1),
+              1e-9);
+}
+
+TEST(RunningStats, TracksExtrema) {
+  RunningStats s;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 11.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(9);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.UniformDouble(-50.0, 50.0);
+    whole.Add(x);
+    (i < 120 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.PopulationVariance(), whole.PopulationVariance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), a_copy.mean(), 1e-12);
+  b.Merge(a);  // empty lhs: adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,58 @@
+#include "geom/sparse_table.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+TEST(SparseTableMax, SingleElement) {
+  SparseTableMax t(std::vector<double>{42.0});
+  EXPECT_EQ(t.ArgMax(0, 1), 0u);
+  EXPECT_DOUBLE_EQ(t.Max(0, 1), 42.0);
+}
+
+TEST(SparseTableMax, MatchesNaiveOnRandomData) {
+  Rng rng(12);
+  std::vector<double> v(257);
+  for (auto& x : v) x = rng.UniformDouble(-100.0, 100.0);
+  SparseTableMax t(v);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t a = static_cast<size_t>(rng.Below(v.size()));
+    size_t b = a + 1 + static_cast<size_t>(rng.Below(v.size() - a));
+    size_t naive = a;
+    for (size_t i = a; i < b; ++i) {
+      if (v[i] > v[naive]) naive = i;
+    }
+    EXPECT_DOUBLE_EQ(t.Max(a, b), v[naive]);
+  }
+}
+
+TEST(SparseTableMax, TieBreaksTowardLowerIndex) {
+  SparseTableMax t(std::vector<double>{1.0, 5.0, 5.0, 5.0, 2.0});
+  EXPECT_EQ(t.ArgMax(0, 5), 1u);
+  EXPECT_EQ(t.ArgMax(2, 5), 2u);
+}
+
+TEST(SparseTableMax, FullRangeOnPowerOfTwoAndOffSizes) {
+  for (const size_t n : {2u, 3u, 4u, 7u, 8u, 9u, 31u, 64u, 100u}) {
+    std::vector<double> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i % 13);
+    SparseTableMax t(v);
+    size_t naive = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i] > v[naive]) naive = i;
+    }
+    EXPECT_EQ(t.ArgMax(0, n), naive) << "n=" << n;
+  }
+}
+
+TEST(SparseTableMaxDeathTest, EmptyRangeAborts) {
+  SparseTableMax t(std::vector<double>{1.0, 2.0});
+  EXPECT_DEATH({ (void)t.ArgMax(1, 1); }, "PASS_CHECK");
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,75 @@
+#include "core/stratified_sample.h"
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+StratifiedSample MakeSample() {
+  StratifiedSample s(2);
+  s.AddRow({1.0, 10.0}, 5.0);
+  s.AddRow({2.0, 20.0}, 7.0);
+  s.AddRow({3.0, 30.0}, -2.0);
+  return s;
+}
+
+Rect Box(double x0, double x1, double y0, double y1) {
+  Rect r(2);
+  r.dim(0) = {x0, x1};
+  r.dim(1) = {y0, y1};
+  return r;
+}
+
+TEST(StratifiedSample, SizeAndAccess) {
+  const StratifiedSample s = MakeSample();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.NumDims(), 2u);
+  EXPECT_DOUBLE_EQ(s.agg(2), -2.0);
+  EXPECT_DOUBLE_EQ(s.pred(1, 1), 20.0);
+}
+
+TEST(StratifiedSample, ScanAllMatch) {
+  const StratifiedSample s = MakeSample();
+  const auto r = s.Scan(Rect::All(2));
+  EXPECT_EQ(r.matched, 3u);
+  EXPECT_DOUBLE_EQ(r.sum, 10.0);
+  EXPECT_DOUBLE_EQ(r.sum_sq, 25.0 + 49.0 + 4.0);
+  EXPECT_DOUBLE_EQ(r.min, -2.0);
+  EXPECT_DOUBLE_EQ(r.max, 7.0);
+}
+
+TEST(StratifiedSample, ScanPartialMatch) {
+  const StratifiedSample s = MakeSample();
+  const auto r = s.Scan(Box(1.5, 3.5, 0.0, 25.0));
+  EXPECT_EQ(r.matched, 1u);  // only row (2.0, 20.0)
+  EXPECT_DOUBLE_EQ(r.sum, 7.0);
+}
+
+TEST(StratifiedSample, ScanNoMatch) {
+  const StratifiedSample s = MakeSample();
+  const auto r = s.Scan(Box(100.0, 200.0, 0.0, 100.0));
+  EXPECT_EQ(r.matched, 0u);
+  EXPECT_DOUBLE_EQ(r.sum, 0.0);
+}
+
+TEST(StratifiedSample, RemoveRowSwapsWithLast) {
+  StratifiedSample s = MakeSample();
+  s.RemoveRow(0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.agg(0), -2.0);  // former last row moved into slot 0
+  EXPECT_DOUBLE_EQ(s.pred(0, 0), 3.0);
+}
+
+TEST(StratifiedSample, SizeBytesScalesWithDims) {
+  const StratifiedSample s = MakeSample();
+  EXPECT_EQ(s.SizeBytes(), 3u * 3u * sizeof(double));
+}
+
+TEST(StratifiedSample, EmptyScan) {
+  StratifiedSample s(1);
+  const auto r = s.Scan(Rect::All(1));
+  EXPECT_EQ(r.matched, 0u);
+}
+
+}  // namespace
+}  // namespace pass

@@ -1,0 +1,121 @@
+/// Section 4.1's separation claim: "the structure of the leaf nodes governs
+/// the estimation error ... The shape of the tree (height and fanout) only
+/// affects construction time and query latency." These tests verify that
+/// estimates are *bit-identical* across hierarchy shapes built over the
+/// same leaves and samples, and that MCF results agree with a brute-force
+/// classification of the flat leaf list.
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::MustBuild;
+
+BuildOptions WithFanout(size_t fanout, uint64_t seed) {
+  BuildOptions options;
+  options.num_leaves = 32;
+  options.sample_rate = 0.01;
+  options.strategy = PartitionStrategy::kEqualDepth;
+  options.fanout = fanout;
+  options.seed = seed;
+  return options;
+}
+
+TEST(TreeShape, EstimatesIdenticalAcrossFanouts) {
+  const Dataset data = MakeIntelLike(30000, 81);
+  const Synopsis binary = MustBuild(data, WithFanout(2, 5));
+  const Synopsis wide = MustBuild(data, WithFanout(8, 5));
+  const Synopsis flat = MustBuild(data, WithFanout(64, 5));
+  ASSERT_EQ(binary.NumLeaves(), wide.NumLeaves());
+  ASSERT_EQ(binary.NumLeaves(), flat.NumLeaves());
+
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 100;
+  wl.seed = 82;
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    const QueryAnswer a = binary.Answer(q);
+    const QueryAnswer b = wide.Answer(q);
+    const QueryAnswer c = flat.Answer(q);
+    EXPECT_DOUBLE_EQ(a.estimate.value, b.estimate.value) << q.ToString();
+    EXPECT_DOUBLE_EQ(a.estimate.value, c.estimate.value) << q.ToString();
+    EXPECT_DOUBLE_EQ(a.estimate.variance, b.estimate.variance);
+    EXPECT_DOUBLE_EQ(a.estimate.variance, c.estimate.variance);
+    ASSERT_EQ(a.hard_lb.has_value(), c.hard_lb.has_value());
+    if (a.hard_lb) {
+      EXPECT_DOUBLE_EQ(*a.hard_lb, *c.hard_lb);
+      EXPECT_DOUBLE_EQ(*a.hard_ub, *c.hard_ub);
+    }
+  }
+}
+
+TEST(TreeShape, McfAgreesWithFlatLeafClassification) {
+  const Dataset data = MakeTaxiDatetime(20000, 83);
+  const Synopsis s = MustBuild(data, WithFanout(2, 7));
+  const PartitionTree& tree = s.tree();
+
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 120;
+  wl.seed = 84;
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    const auto frontier = tree.ComputeMcf(q.predicate);
+    // Flatten the frontier's covered set down to leaves.
+    std::vector<char> covered(tree.NumLeaves(), 0);
+    std::vector<char> partial(tree.NumLeaves(), 0);
+    std::vector<int32_t> stack = frontier.covered;
+    while (!stack.empty()) {
+      const int32_t id = stack.back();
+      stack.pop_back();
+      const auto& node = tree.node(id);
+      if (node.IsLeaf()) {
+        covered[static_cast<size_t>(node.leaf_id)] = 1;
+      } else {
+        stack.insert(stack.end(), node.children.begin(),
+                     node.children.end());
+      }
+    }
+    for (const int32_t id : frontier.partial) {
+      partial[static_cast<size_t>(tree.node(id).leaf_id)] = 1;
+    }
+    // Brute force: classify every leaf directly.
+    for (size_t leaf_id = 0; leaf_id < tree.NumLeaves(); ++leaf_id) {
+      const int32_t node_id = tree.leaves()[leaf_id];
+      switch (tree.Classify(node_id, q.predicate)) {
+        case PartitionTree::Coverage::kCover:
+          EXPECT_TRUE(covered[leaf_id]) << "leaf " << leaf_id;
+          EXPECT_FALSE(partial[leaf_id]);
+          break;
+        case PartitionTree::Coverage::kPartial:
+          EXPECT_TRUE(partial[leaf_id]) << "leaf " << leaf_id;
+          EXPECT_FALSE(covered[leaf_id]);
+          break;
+        case PartitionTree::Coverage::kNone:
+          EXPECT_FALSE(covered[leaf_id]) << "leaf " << leaf_id;
+          EXPECT_FALSE(partial[leaf_id]);
+          break;
+      }
+    }
+  }
+}
+
+TEST(TreeShape, VisitCountShrinksWithFanoutForSelectiveQueries) {
+  const Dataset data = MakeTaxiDatetime(20000, 85);
+  const Synopsis binary = MustBuild(data, WithFanout(2, 9));
+  const Synopsis flat = MustBuild(data, WithFanout(64, 9));
+  Query q = MakeRangeQuery(AggregateType::kSum, 100000.0, 120000.0);
+  // Binary tree prunes subtrees; flat tree must touch every child of the
+  // root. For a selective query the flat walk visits more nodes.
+  const auto deep = binary.tree().ComputeMcf(q.predicate);
+  const auto shallow = flat.tree().ComputeMcf(q.predicate);
+  EXPECT_LT(deep.nodes_visited, shallow.nodes_visited);
+}
+
+}  // namespace
+}  // namespace pass

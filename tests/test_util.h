@@ -1,0 +1,35 @@
+#ifndef PASS_TESTS_TEST_UTIL_H_
+#define PASS_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/synopsis.h"
+#include "partition/builder.h"
+#include "storage/dataset.h"
+
+namespace pass {
+namespace testing {
+
+/// Builds a synopsis or aborts the test binary on failure (test scaffolding
+/// only; production callers handle the Result).
+inline Synopsis MustBuild(const Dataset& data, BuildOptions options) {
+  Result<Synopsis> result = BuildSynopsis(data, options);
+  PASS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+/// A 1-D query over dimension `dim` of a d-dimensional dataset.
+inline Query RangeQueryOnDim(AggregateType agg, size_t num_dims, size_t dim,
+                             double lo, double hi) {
+  Query q;
+  q.agg = agg;
+  q.predicate = Rect::All(num_dims);
+  q.predicate.dim(dim) = Interval{lo, hi};
+  return q;
+}
+
+}  // namespace testing
+}  // namespace pass
+
+#endif  // PASS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,125 @@
+/// Unit validation of the Section 4.2.1 variance formulas and the
+/// monotonicity property the fast DP relies on (Section 4.3: "adding
+/// irrelevant data to a query can only make the estimate worse").
+
+#include "partition/variance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pass {
+namespace {
+
+class VarianceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(31);
+    values_.resize(64);
+    for (auto& v : values_) v = rng.UniformDouble(0.0, 10.0);
+    prefix_ = PrefixSums(values_);
+  }
+
+  double Spread(size_t b, size_t e, double n) const {
+    double s = 0.0;
+    double ss = 0.0;
+    for (size_t i = b; i < e; ++i) {
+      s += values_[i];
+      ss += values_[i] * values_[i];
+    }
+    return n * ss - s * s;
+  }
+
+  std::vector<double> values_;
+  PrefixSums prefix_;
+};
+
+TEST_F(VarianceFixture, SumFormulaMatchesDefinition) {
+  const SampleVariance var(&prefix_, 2.0);  // ratio N/m = 2
+  // V = ratio^2 / n_i * (n_i Σ t² - (Σ t)²), partition [8, 40), query
+  // [12, 20).
+  const double n_i = 32.0;
+  const double expect = 4.0 / n_i * Spread(12, 20, n_i);
+  EXPECT_NEAR(var.SumVariance(8, 40, 12, 20), expect, 1e-9 * (1 + expect));
+}
+
+TEST_F(VarianceFixture, AvgFormulaMatchesDefinition) {
+  const SampleVariance var(&prefix_, 2.0);
+  // V = (n_i Σ t² - (Σ t)²) / (n_i |q|²); ratio does not enter AVG.
+  const double n_i = 32.0;
+  const double q = 8.0;
+  const double expect = Spread(12, 20, n_i) / (n_i * q * q);
+  EXPECT_NEAR(var.AvgVariance(8, 40, 12, 20), expect, 1e-9 * (1 + expect));
+}
+
+TEST_F(VarianceFixture, CountFormulaClosedForm) {
+  const SampleVariance var(&prefix_, 3.0);
+  // t = 1: V = ratio²/n_i * (n_i k - k²).
+  const double n_i = 32.0;
+  const double k = 8.0;
+  EXPECT_DOUBLE_EQ(var.CountVariance(8, 40, 12, 20),
+                   9.0 / n_i * (n_i * k - k * k));
+}
+
+TEST_F(VarianceFixture, CountMaximizedAtHalfPartition) {
+  const SampleVariance var(&prefix_, 1.0);
+  const double half = var.CountVariance(0, 64, 0, 32);
+  for (const size_t k : {1u, 8u, 16u, 48u, 63u}) {
+    EXPECT_GE(half, var.CountVariance(0, 64, 0, k));
+  }
+}
+
+TEST_F(VarianceFixture, MonotoneInPartitionGrowth) {
+  // Lemma (Section 4.3): for a fixed query q inside partitions b_x ⊆ b_y,
+  // V_x(q) <= V_y(q), for SUM, COUNT and AVG.
+  Rng rng(32);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Query [qb, qe), inner partition [xb, xe) ⊇ query, outer [yb, ye).
+    const size_t qb = 20 + rng.Below(8);
+    const size_t qe = qb + 2 + rng.Below(6);
+    const size_t xb = qb - rng.Below(qb + 1);
+    const size_t xe = qe + rng.Below(values_.size() - qe + 1);
+    const size_t yb = xb - rng.Below(xb + 1);
+    const size_t ye = xe + rng.Below(values_.size() - xe + 1);
+    const SampleVariance var(&prefix_, 1.5);
+    for (const auto agg : {AggregateType::kSum, AggregateType::kCount,
+                           AggregateType::kAvg}) {
+      const double inner = var.Variance(agg, xb, xe, qb, qe);
+      const double outer = var.Variance(agg, yb, ye, qb, qe);
+      EXPECT_LE(inner, outer + 1e-9 * (1 + outer))
+          << AggregateName(agg) << " trial=" << trial;
+    }
+  }
+}
+
+TEST_F(VarianceFixture, QueryGrowthNeverNegative) {
+  const SampleVariance var(&prefix_, 1.0);
+  for (size_t b = 0; b < 64; b += 7) {
+    for (size_t e = b + 1; e <= 64; e += 5) {
+      EXPECT_GE(var.SumVariance(0, 64, b, e), 0.0);
+      EXPECT_GE(var.AvgVariance(0, 64, b, e), 0.0);
+      EXPECT_GE(var.CountVariance(0, 64, b, e), 0.0);
+    }
+  }
+}
+
+TEST_F(VarianceFixture, EmptyPartitionIsZero) {
+  const SampleVariance var(&prefix_, 1.0);
+  EXPECT_DOUBLE_EQ(var.SumVariance(5, 5, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(var.AvgVariance(5, 5, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(var.CountVariance(5, 5, 5, 5), 0.0);
+}
+
+TEST_F(VarianceFixture, RatioScalesSumQuadratically) {
+  const SampleVariance var1(&prefix_, 1.0);
+  const SampleVariance var5(&prefix_, 5.0);
+  const double v1 = var1.SumVariance(0, 64, 10, 30);
+  const double v5 = var5.SumVariance(0, 64, 10, 30);
+  EXPECT_NEAR(v5, 25.0 * v1, 1e-9 * (1 + v5));
+  // AVG is ratio-free.
+  EXPECT_DOUBLE_EQ(var1.AvgVariance(0, 64, 10, 30),
+                   var5.AvgVariance(0, 64, 10, 30));
+}
+
+}  // namespace
+}  // namespace pass

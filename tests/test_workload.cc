@@ -1,0 +1,90 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "data/generators.h"
+
+namespace pass {
+namespace {
+
+TEST(RandomRangeQueries, CountAndShape) {
+  const Dataset data = MakeUniform(5000, 20);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kAvg;
+  wl.count = 37;
+  const auto queries = RandomRangeQueries(data, wl);
+  ASSERT_EQ(queries.size(), 37u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.agg, AggregateType::kAvg);
+    EXPECT_EQ(q.predicate.NumDims(), 1u);
+    EXPECT_LE(q.predicate.dim(0).lo, q.predicate.dim(0).hi);
+  }
+}
+
+TEST(RandomRangeQueries, AnchoredQueriesAreNonEmpty) {
+  const Dataset data = MakeTaxiLike(5000, 21);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 50;
+  wl.template_dims = {0, 1, 2, 3, 4};
+  wl.anchored = true;
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    EXPECT_GT(ExactAnswer(data, q).matched, 0u);
+  }
+}
+
+TEST(RandomRangeQueries, TemplateDimsLeaveOthersUnbounded) {
+  const Dataset data = MakeTaxiLike(2000, 22);
+  WorkloadOptions wl;
+  wl.count = 10;
+  wl.template_dims = {0, 2};
+  for (const Query& q : RandomRangeQueries(data, wl)) {
+    EXPECT_EQ(q.predicate.dim(1), Interval::All());
+    EXPECT_EQ(q.predicate.dim(3), Interval::All());
+    EXPECT_NE(q.predicate.dim(0), Interval::All());
+  }
+}
+
+TEST(RandomRangeQueries, DeterministicPerSeed) {
+  const Dataset data = MakeUniform(3000, 23);
+  WorkloadOptions wl;
+  wl.count = 5;
+  wl.seed = 99;
+  const auto a = RandomRangeQueries(data, wl);
+  const auto b = RandomRangeQueries(data, wl);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].predicate, b[i].predicate);
+  }
+}
+
+TEST(ChallengingQueries, ConcentrateInHighVarianceRegion) {
+  // Adversarial data: all variance lives in the last eighth of the domain.
+  const Dataset data = MakeAdversarial(40000, 24);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 60;
+  const auto queries = ChallengingQueries(data, 0, wl, 4000, 0.01);
+  // The median-split oracle isolates the half of the domain containing the
+  // noisy tail; every challenging query must fall inside that half.
+  size_t inside = 0;
+  for (const Query& q : queries) {
+    if (q.predicate.dim(0).lo >= 40000.0 * 0.5 * 0.95) ++inside;
+  }
+  EXPECT_EQ(inside, queries.size());
+}
+
+TEST(ChallengingQueries, AvgVariantUsesWindowOracle) {
+  const Dataset data = MakeAdversarial(20000, 25);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kAvg;
+  wl.count = 20;
+  const auto queries = ChallengingQueries(data, 0, wl, 2000, 0.01);
+  EXPECT_EQ(queries.size(), 20u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.agg, AggregateType::kAvg);
+  }
+}
+
+}  // namespace
+}  // namespace pass
