@@ -13,7 +13,7 @@ RunSummary Eval(const Dataset& data, const BuildOptions& options,
                 const std::vector<Query>& queries,
                 const std::vector<ExactResult>& truths) {
   return EvaluateSystem(MustBuildSynopsis(data, options), queries, truths,
-                        {kLambda});
+                        EvalOpts(kLambda));
 }
 
 void AvgModeAndZeroVarianceRule() {
@@ -138,7 +138,7 @@ void FanoutEffect() {
     options.fanout = fanout;
     const Synopsis s = MustBuildSynopsis(data, options);
     const RunSummary summary =
-        EvaluateSystem(s, queries, truths, {kLambda});
+        EvaluateSystem(s, queries, truths, EvalOpts(kLambda));
     table.AddRow({std::to_string(fanout), Pct(summary.median_rel_error),
                   FormatDouble(summary.mean_latency_ms),
                   std::to_string(s.tree().Height()),
@@ -168,7 +168,7 @@ void OracleChoice() {
         strategy == PartitionStrategy::kDpExact ? 400 : 10'000;
     const Synopsis s = MustBuildSynopsis(data, options);
     const RunSummary summary =
-        EvaluateSystem(s, queries, truths, {kLambda});
+        EvaluateSystem(s, queries, truths, EvalOpts(kLambda));
     table.AddRow({StrategyName(strategy),
                   std::to_string(options.opt_sample_size),
                   FormatDouble(s.build_seconds()),

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,12 @@
 #include "baselines/spn.h"
 #include "baselines/stratified_sampling.h"
 #include "baselines/uniform_sampling.h"
+#include "common/parse.h"
 #include "core/exact.h"
 #include "data/generators.h"
 #include "data/workload.h"
+#include "engine/batch_executor.h"
+#include "engine/engine_registry.h"
 #include "harness/metrics.h"
 #include "harness/table_printer.h"
 #include "partition/builder.h"
@@ -49,6 +53,34 @@ inline size_t NumQueries() { return Scaled(400); }
 inline constexpr double kSampleRate = 0.005;
 inline constexpr size_t kPartitions = 64;
 inline constexpr double kLambda = 2.576;  // 99% CI
+
+/// Workload evaluation runs through the BatchExecutor; PASS_EVAL_THREADS
+/// picks the pool size (default 1 = the paper's sequential measurements,
+/// 0 = hardware concurrency).
+inline size_t EvalThreads() {
+  const char* env = std::getenv("PASS_EVAL_THREADS");
+  if (env == nullptr) return 1;
+  // Unparseable, negative, overflowing, or absurd values fall back to the
+  // sequential default rather than silently enabling full concurrency.
+  return ParseNonNegative(env, kMaxThreadArg).value_or(1);
+}
+
+inline EvalOptions EvalOpts(double lambda) {
+  EvalOptions options;
+  options.lambda = lambda;
+  options.num_threads = EvalThreads();
+  return options;
+}
+
+/// Constructs a registered engine or aborts the bench binary on failure.
+inline std::unique_ptr<AqpSystem> MustMakeEngine(const std::string& name,
+                                                 const Dataset& data,
+                                                 const EngineConfig& config) {
+  Result<std::unique_ptr<AqpSystem>> result =
+      EngineRegistry::Global().Create(name, data, config);
+  PASS_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
 
 struct NamedDataset {
   std::string name;

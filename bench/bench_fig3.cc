@@ -24,7 +24,7 @@ void Run() {
     TablePrinter table({"Partitions", "PASS", "US", "ST", "AQP++"});
     const UniformSamplingSystem us(ds.data, kSampleRate, 21);
     const RunSummary us_summary =
-        EvaluateSystem(us, queries, truths, {kLambda});
+        EvaluateSystem(us, queries, truths, EvalOpts(kLambda));
     for (const size_t b : partition_counts) {
       const Synopsis pass_sys =
           MustBuildSynopsis(ds.data, PassDefaults(b, kSampleRate));
@@ -36,12 +36,12 @@ void Run() {
       const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
       table.AddRow(
           {std::to_string(b),
-           Pct(EvaluateSystem(pass_sys, queries, truths, {kLambda})
+           Pct(EvaluateSystem(pass_sys, queries, truths, EvalOpts(kLambda))
                    .median_rel_error),
            Pct(us_summary.median_rel_error),
-           Pct(EvaluateSystem(st, queries, truths, {kLambda})
+           Pct(EvaluateSystem(st, queries, truths, EvalOpts(kLambda))
                    .median_rel_error),
-           Pct(EvaluateSystem(aqp, queries, truths, {kLambda})
+           Pct(EvaluateSystem(aqp, queries, truths, EvalOpts(kLambda))
                    .median_rel_error)});
     }
     std::printf("--- %s ---\n", ds.name.c_str());

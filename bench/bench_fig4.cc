@@ -42,13 +42,13 @@ void Run() {
       const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
       table.AddRow(
           {FormatDouble(frac, 2),
-           Pct(EvaluateSystem(pass_sys, queries, truths, {kLambda})
+           Pct(EvaluateSystem(pass_sys, queries, truths, EvalOpts(kLambda))
                    .median_rel_error),
-           Pct(EvaluateSystem(us, queries, truths, {kLambda})
+           Pct(EvaluateSystem(us, queries, truths, EvalOpts(kLambda))
                    .median_rel_error),
-           Pct(EvaluateSystem(st, queries, truths, {kLambda})
+           Pct(EvaluateSystem(st, queries, truths, EvalOpts(kLambda))
                    .median_rel_error),
-           Pct(EvaluateSystem(aqp, queries, truths, {kLambda})
+           Pct(EvaluateSystem(aqp, queries, truths, EvalOpts(kLambda))
                    .median_rel_error)});
     }
     std::printf("--- %s ---\n", ds.name.c_str());

@@ -36,14 +36,14 @@ void Run() {
       aqp_options.seed = 53;
       const auto aqp = MakeAqpPlusPlus(ds.data, aqp_options);
       const RunSummary pass_summary =
-          EvaluateSystem(pass_sys, queries, truths, {kLambda});
+          EvaluateSystem(pass_sys, queries, truths, EvalOpts(kLambda));
       table.AddRow(
           {FormatDouble(frac, 2), Pct(pass_summary.median_ci_ratio),
-           Pct(EvaluateSystem(us, queries, truths, {kLambda})
+           Pct(EvaluateSystem(us, queries, truths, EvalOpts(kLambda))
                    .median_ci_ratio),
-           Pct(EvaluateSystem(st, queries, truths, {kLambda})
+           Pct(EvaluateSystem(st, queries, truths, EvalOpts(kLambda))
                    .median_ci_ratio),
-           Pct(EvaluateSystem(aqp, queries, truths, {kLambda})
+           Pct(EvaluateSystem(aqp, queries, truths, EvalOpts(kLambda))
                    .median_ci_ratio),
            Pct(pass_summary.ci_coverage, 1)});
     }

@@ -39,14 +39,14 @@ void Run() {
     table.AddRow(
         {std::to_string(b),
          Pct(EvaluateSystem(adp_sys, random_queries, random_truths,
-                            {kLambda})
+                            EvalOpts(kLambda))
                  .median_ci_ratio),
          Pct(EvaluateSystem(eq_sys, random_queries, random_truths,
-                            {kLambda})
+                            EvalOpts(kLambda))
                  .median_ci_ratio),
-         Pct(EvaluateSystem(adp_sys, hard_queries, hard_truths, {kLambda})
+         Pct(EvaluateSystem(adp_sys, hard_queries, hard_truths, EvalOpts(kLambda))
                  .median_ci_ratio),
-         Pct(EvaluateSystem(eq_sys, hard_queries, hard_truths, {kLambda})
+         Pct(EvaluateSystem(eq_sys, hard_queries, hard_truths, EvalOpts(kLambda))
                  .median_ci_ratio)});
   }
   table.Print();

@@ -31,10 +31,10 @@ void Run() {
       table.AddRow(
           {std::to_string(b),
            Pct(EvaluateSystem(MustBuildSynopsis(ds.data, adp), queries,
-                              truths, {kLambda})
+                              truths, EvalOpts(kLambda))
                    .median_ci_ratio),
            Pct(EvaluateSystem(MustBuildSynopsis(ds.data, eq), queries,
-                              truths, {kLambda})
+                              truths, EvalOpts(kLambda))
                    .median_ci_ratio)});
     }
     std::printf("--- %s ---\n", ds.name.c_str());

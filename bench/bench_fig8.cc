@@ -47,9 +47,9 @@ void Run() {
     const auto us_sys = MakeKdUs(data, kd_us);
 
     const RunSummary pass_summary =
-        EvaluateSystem(pass_sys, queries, truths, {kLambda});
+        EvaluateSystem(pass_sys, queries, truths, EvalOpts(kLambda));
     const RunSummary us_summary =
-        EvaluateSystem(us_sys, queries, truths, {kLambda});
+        EvaluateSystem(us_sys, queries, truths, EvalOpts(kLambda));
     table.AddRow({std::to_string(dims) + "D",
                   Pct(pass_summary.median_ci_ratio),
                   Pct(us_summary.median_ci_ratio),

@@ -58,11 +58,11 @@ void Run() {
     const auto queries = RandomRangeQueries(data, wl);
     const auto truths = ComputeGroundTruth(data, queries);
     const RunSummary pass_summary =
-        EvaluateSystem(pass_sys, queries, truths, {kLambda});
+        EvaluateSystem(pass_sys, queries, truths, EvalOpts(kLambda));
     const RunSummary us_summary =
-        EvaluateSystem(us_sys, queries, truths, {kLambda});
+        EvaluateSystem(us_sys, queries, truths, EvalOpts(kLambda));
     const RunSummary ens_summary =
-        EvaluateSystem(*ensemble, queries, truths, {kLambda});
+        EvaluateSystem(*ensemble, queries, truths, EvalOpts(kLambda));
     table.AddRow({std::to_string(dims) + "D",
                   Pct(pass_summary.median_ci_ratio),
                   Pct(us_summary.median_ci_ratio),

@@ -62,7 +62,7 @@ void Run() {
       const AqpSystem* systems[] = {&us, &st, &aqp, &ess, &bss2, &bss10};
       for (size_t i = 0; i < approaches.size(); ++i) {
         const RunSummary summary = EvaluateSystem(*systems[i], queries,
-                                                  truths, {kLambda});
+                                                  truths, EvalOpts(kLambda));
         cells[i].push_back(Pct(summary.median_rel_error));
         build_cost[i] += summary.costs.build_seconds;
       }

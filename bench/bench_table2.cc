@@ -100,7 +100,7 @@ void Run() {
 
     for (size_t i = 0; i < systems.size(); ++i) {
       const RunSummary summary =
-          EvaluateSystem(*systems[i], w.queries, w.truths, {kLambda});
+          EvaluateSystem(*systems[i], w.queries, w.truths, EvalOpts(kLambda));
       rows[i].latency_ms += summary.mean_latency_ms;
       rows[i].storage_mb +=
           static_cast<double>(summary.costs.storage_bytes) / (1 << 20);

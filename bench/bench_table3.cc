@@ -34,7 +34,7 @@ void Run() {
     const Synopsis s = MustBuildSynopsis(data, options);
     const double cost = timer.ElapsedSeconds();
     const RunSummary summary =
-        EvaluateSystem(s, queries, truths, {kLambda});
+        EvaluateSystem(s, queries, truths, EvalOpts(kLambda));
     table.AddRow({std::to_string(k), FormatDouble(cost),
                   FormatDouble(summary.mean_latency_ms),
                   FormatDouble(summary.max_latency_ms),

@@ -1,0 +1,32 @@
+#ifndef PASS_COMMON_PARSE_H_
+#define PASS_COMMON_PARSE_H_
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <optional>
+
+namespace pass {
+
+/// Strict non-negative integer parse for CLI args and env vars: rejects
+/// garbage, trailing characters, negatives, overflow, and values above
+/// `max`. One definition so benches and examples never drift on bounds.
+inline std::optional<size_t> ParseNonNegative(const char* text, size_t max) {
+  if (text == nullptr) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0 ||
+      static_cast<unsigned long long>(value) > max) {
+    return std::nullopt;
+  }
+  return static_cast<size_t>(value);
+}
+
+/// Largest thread count any CLI/env knob will accept (sanity cap, far
+/// above any real hardware).
+inline constexpr size_t kMaxThreadArg = 4096;
+
+}  // namespace pass
+
+#endif  // PASS_COMMON_PARSE_H_

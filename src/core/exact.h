@@ -1,6 +1,7 @@
 #ifndef PASS_CORE_EXACT_H_
 #define PASS_CORE_EXACT_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "core/query.h"
@@ -14,6 +15,21 @@ struct ExactResult {
   double value = 0.0;
   uint64_t matched = 0;
 };
+
+/// True when the truth can score an estimate: non-empty, finite, non-zero
+/// (relative error is undefined at zero). One definition shared by the
+/// harness metrics and the batch scorer so their error numbers never
+/// diverge for the same run.
+inline bool UsableGroundTruth(const ExactResult& truth) {
+  return truth.matched > 0 && std::isfinite(truth.value) &&
+         truth.value != 0.0;
+}
+
+/// |estimate - truth| / |truth|. Callers must have checked
+/// UsableGroundTruth.
+inline double RelativeError(double estimate, const ExactResult& truth) {
+  return std::abs(estimate - truth.value) / std::abs(truth.value);
+}
 
 /// Scans the entire dataset. Used for ground truth in tests, benchmarks and
 /// the experiment harness (never on the query path of any synopsis).

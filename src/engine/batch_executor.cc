@@ -1,0 +1,91 @@
+#include "engine/batch_executor.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "stats/quantile.h"
+
+namespace pass {
+
+BatchExecutor::BatchExecutor(size_t num_threads) : pool_(num_threads) {}
+
+BatchExecutor& BatchExecutor::Shared(size_t num_threads) {
+  // Normalize before keying the cache so Shared(0) and an explicit
+  // Shared(hardware_concurrency) share one pool.
+  num_threads = ThreadPool::ResolveNumThreads(num_threads);
+  static std::mutex* mu = new std::mutex();
+  static auto* executors =
+      new std::map<size_t, std::unique_ptr<BatchExecutor>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  std::unique_ptr<BatchExecutor>& executor = (*executors)[num_threads];
+  if (executor == nullptr) {
+    executor = std::make_unique<BatchExecutor>(num_threads);
+  }
+  return *executor;
+}
+
+BatchResult BatchExecutor::Run(const AqpSystem& system,
+                               const std::vector<Query>& queries) const {
+  BatchResult result;
+  result.num_threads = pool_.num_threads();
+  result.answers.resize(queries.size());
+  result.latency_ms.resize(queries.size());
+
+  // Per-batch completion latch (not ThreadPool::Wait): concurrent Run()
+  // calls on one executor interleave tasks in the shared pool, and each
+  // call must only wait for — and time — its own batch.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  } latch{{}, {}, queries.size()};
+
+  Stopwatch batch_timer;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool_.Submit([&system, &queries, &result, &latch, i] {
+      Stopwatch query_timer;
+      result.answers[i] = system.Answer(queries[i]);
+      result.latency_ms[i] = query_timer.ElapsedMillis();
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.done.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(latch.mu);
+    latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  }
+  result.wall_ms = batch_timer.ElapsedMillis();
+  return result;
+}
+
+BatchErrorSummary BatchExecutor::Score(
+    const BatchResult& result, const std::vector<ExactResult>& truths) {
+  PASS_CHECK(result.answers.size() == truths.size());
+  BatchErrorSummary summary;
+  std::vector<double> rel_errors;
+  rel_errors.reserve(truths.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (!UsableGroundTruth(truths[i])) continue;
+    rel_errors.push_back(
+        RelativeError(result.answers[i].estimate.value, truths[i]));
+  }
+  summary.num_scored = rel_errors.size();
+  if (!rel_errors.empty()) {
+    summary.median_rel_error = Quantile(rel_errors, 0.5);
+    summary.p95_rel_error = Quantile(rel_errors, 0.95);
+  }
+  return summary;
+}
+
+double LatencyQuantileMs(const BatchResult& result, double q) {
+  if (result.latency_ms.empty()) return 0.0;
+  return Quantile(result.latency_ms, q);
+}
+
+}  // namespace pass

@@ -1,0 +1,75 @@
+#ifndef PASS_ENGINE_BATCH_EXECUTOR_H_
+#define PASS_ENGINE_BATCH_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/aqp_system.h"
+#include "core/exact.h"
+#include "core/query.h"
+#include "engine/thread_pool.h"
+
+namespace pass {
+
+/// Result of answering one batch. Everything is index-aligned with the
+/// input query vector, so results are identical to a sequential loop no
+/// matter how many threads answered the batch (every AqpSystem::Answer in
+/// this repository is const and deterministic).
+struct BatchResult {
+  std::vector<QueryAnswer> answers;
+  std::vector<double> latency_ms;  // per-query wall time
+  double wall_ms = 0.0;            // whole-batch wall time
+  size_t num_threads = 1;
+
+  double TotalQueries() const { return static_cast<double>(answers.size()); }
+  /// Queries per second over the batch wall time.
+  double Throughput() const {
+    return wall_ms > 0.0 ? TotalQueries() / (wall_ms / 1e3) : 0.0;
+  }
+};
+
+/// Per-query accuracy of a batch against ground truth, for the serving
+/// metrics the benches and CI artifacts report.
+struct BatchErrorSummary {
+  size_t num_scored = 0;        // queries with usable non-zero truth
+  double median_rel_error = 0.0;
+  double p95_rel_error = 0.0;
+};
+
+/// Answers query batches across a fixed-size thread pool. The pool is
+/// owned by the executor and reused across batches (capacity is a
+/// deployment decision, not a per-batch one).
+class BatchExecutor {
+ public:
+  /// `num_threads` = 0 means std::thread::hardware_concurrency.
+  explicit BatchExecutor(size_t num_threads = 0);
+
+  /// Process-wide executor for the given pool size, created on first use
+  /// and kept for the process lifetime. Callers that answer many
+  /// workloads (the harness, benches) use this instead of spawning and
+  /// joining a fresh pool per call. Thread-safe.
+  static BatchExecutor& Shared(size_t num_threads = 0);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Answers every query; answers[i] corresponds to queries[i]. Safe to
+  /// call concurrently from multiple threads on one executor: batches
+  /// share the pool's workers but each call waits on (and times) only its
+  /// own queries.
+  BatchResult Run(const AqpSystem& system,
+                  const std::vector<Query>& queries) const;
+
+  /// Scores a batch against precomputed ground truth (index-aligned).
+  static BatchErrorSummary Score(const BatchResult& result,
+                                 const std::vector<ExactResult>& truths);
+
+ private:
+  mutable ThreadPool pool_;
+};
+
+/// Latency quantile over a batch, in milliseconds. q in [0, 1].
+double LatencyQuantileMs(const BatchResult& result, double q);
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_BATCH_EXECUTOR_H_

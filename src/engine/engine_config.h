@@ -1,0 +1,68 @@
+#ifndef PASS_ENGINE_ENGINE_CONFIG_H_
+#define PASS_ENGINE_ENGINE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/query.h"
+#include "partition/build_options.h"
+
+namespace pass {
+
+/// One configuration shared by every engine the registry can construct, so
+/// a serving layer can switch methods without per-method plumbing. Each
+/// engine reads the subset of fields it understands and ignores the rest.
+struct EngineConfig {
+  /// Overall sampling budget as a fraction of the dataset (US, ST,
+  /// AQP++, PASS). The paper's experiments default to 0.5%.
+  double sample_rate = 0.005;
+
+  /// Number of leaf partitions / strata (ST, AQP++, PASS).
+  size_t partitions = 64;
+
+  /// Predicate dimension used by the 1-D methods (ST stratification and
+  /// the AQP++ hill climb).
+  size_t dim = 0;
+
+  /// Optimization-sample size for the partitioning optimizers.
+  size_t opt_sample_size = 10'000;
+
+  /// Aggregate whose worst-case variance the PASS optimizer minimizes.
+  AggregateType optimize_for = AggregateType::kSum;
+
+  /// Partitioning strategy for the PASS synopsis.
+  PartitionStrategy strategy = PartitionStrategy::kAdp;
+
+  /// Fraction of rows the SPN baseline trains on (DeepDB-10% uses 0.1).
+  double spn_train_fraction = 1.0;
+
+  /// Estimator configuration shared by the sampling-based engines.
+  EstimatorOptions estimator;
+
+  uint64_t seed = 42;
+
+  /// Validates the fields every engine depends on. Factories run this
+  /// before construction so misconfiguration surfaces as a Status, not a
+  /// crash deep inside a builder.
+  Status Validate() const {
+    if (!(sample_rate > 0.0) || sample_rate > 1.0) {
+      return Status::InvalidArgument("sample_rate must be in (0, 1]");
+    }
+    if (partitions == 0) {
+      return Status::InvalidArgument("partitions must be >= 1");
+    }
+    if (opt_sample_size == 0) {
+      return Status::InvalidArgument("opt_sample_size must be >= 1");
+    }
+    if (!(spn_train_fraction > 0.0) || spn_train_fraction > 1.0) {
+      return Status::InvalidArgument("spn_train_fraction must be in (0, 1]");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_ENGINE_CONFIG_H_

@@ -1,0 +1,124 @@
+#include "engine/engine_registry.h"
+
+#include <utility>
+
+#include "baselines/agg_plus_uniform.h"
+#include "baselines/spn.h"
+#include "baselines/stratified_sampling.h"
+#include "baselines/uniform_sampling.h"
+#include "core/synopsis.h"
+#include "engine/exact_system.h"
+#include "partition/builder.h"
+
+namespace pass {
+namespace {
+
+using SystemResult = Result<std::unique_ptr<AqpSystem>>;
+
+Status CheckDim(const Dataset& data, const EngineConfig& config) {
+  if (config.dim >= data.NumPredDims()) {
+    return Status::InvalidArgument("dim is out of range for the dataset");
+  }
+  return Status::Ok();
+}
+
+SystemResult MakeExact(const Dataset& data, const EngineConfig& /*config*/) {
+  return std::unique_ptr<AqpSystem>(new ExactSystem(data));
+}
+
+SystemResult MakeUniform(const Dataset& data, const EngineConfig& config) {
+  return std::unique_ptr<AqpSystem>(new UniformSamplingSystem(
+      data, config.sample_rate, config.seed, config.estimator));
+}
+
+SystemResult MakeStratified(const Dataset& data, const EngineConfig& config) {
+  Status dim_ok = CheckDim(data, config);
+  if (!dim_ok.ok()) return dim_ok;
+  return std::unique_ptr<AqpSystem>(new StratifiedSamplingSystem(
+      data, config.partitions, config.sample_rate, config.dim, config.seed,
+      config.estimator));
+}
+
+SystemResult MakeAggUniform(const Dataset& data, const EngineConfig& config) {
+  Status dim_ok = CheckDim(data, config);
+  if (!dim_ok.ok()) return dim_ok;
+  AqpPlusPlusOptions options;
+  options.num_partitions = config.partitions;
+  options.sample_rate = config.sample_rate;
+  options.dim = config.dim;
+  options.opt_sample_size = config.opt_sample_size;
+  options.seed = config.seed;
+  options.estimator = config.estimator;
+  return std::unique_ptr<AqpSystem>(new AggregatePlusUniformSystem(
+      MakeAqpPlusPlus(data, options)));
+}
+
+SystemResult MakeSpn(const Dataset& data, const EngineConfig& config) {
+  SpnSystem::Options options;
+  options.train_fraction = config.spn_train_fraction;
+  options.seed = config.seed;
+  return std::unique_ptr<AqpSystem>(new SpnSystem(data, options));
+}
+
+SystemResult MakePass(const Dataset& data, const EngineConfig& config) {
+  BuildOptions options;
+  options.num_leaves = config.partitions;
+  options.sample_rate = config.sample_rate;
+  options.strategy = config.strategy;
+  options.optimize_for = config.optimize_for;
+  options.opt_sample_size = config.opt_sample_size;
+  options.seed = config.seed;
+  options.estimator = config.estimator;
+  Result<Synopsis> built = BuildSynopsis(data, options);
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<AqpSystem>(
+      new Synopsis(std::move(built).value()));
+}
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = [] {
+    auto* r = new EngineRegistry();
+    r->Register("exact", MakeExact);
+    r->Register("uniform", MakeUniform);
+    r->Register("stratified", MakeStratified);
+    r->Register("agg_uniform", MakeAggUniform);
+    r->Register("spn", MakeSpn);
+    r->Register("pass", MakePass);
+    return r;
+  }();
+  return *registry;
+}
+
+void EngineRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<AqpSystem>> EngineRegistry::Create(
+    const std::string& name, const Dataset& data,
+    const EngineConfig& config) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no engine registered under \"" + name + "\"");
+  }
+  Status config_ok = config.Validate();
+  if (!config_ok.ok()) return config_ok;
+  if (data.NumRows() == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  return it->second(data, config);
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& entry : factories_) names.push_back(entry.first);
+  return names;
+}
+
+}  // namespace pass

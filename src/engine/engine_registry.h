@@ -1,0 +1,52 @@
+#ifndef PASS_ENGINE_ENGINE_REGISTRY_H_
+#define PASS_ENGINE_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aqp_system.h"
+#include "engine/engine_config.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// Constructs any AQP method in this repository by name from one common
+/// EngineConfig, so serving layers, benches and tests are decoupled from
+/// per-method constructors. Built-in names: "exact", "uniform",
+/// "stratified", "agg_uniform", "spn", "pass".
+///
+/// Constructed engines may keep a pointer to the dataset (exact, spn); the
+/// dataset must outlive every engine built from it.
+class EngineRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<AqpSystem>>(
+      const Dataset& data, const EngineConfig& config)>;
+
+  /// The process-wide registry, pre-populated with the built-in engines.
+  static EngineRegistry& Global();
+
+  /// Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, Factory factory);
+
+  /// Builds the engine registered under `name`. Unknown names return
+  /// kNotFound; invalid configurations return kInvalidArgument.
+  Result<std::unique_ptr<AqpSystem>> Create(const std::string& name,
+                                            const Dataset& data,
+                                            const EngineConfig& config) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_ENGINE_REGISTRY_H_

@@ -1,0 +1,28 @@
+#include "engine/exact_system.h"
+
+#include "core/exact.h"
+
+namespace pass {
+
+QueryAnswer ExactSystem::Answer(const Query& query) const {
+  const ExactResult truth = ExactAnswer(*data_, query);
+  QueryAnswer answer;
+  answer.estimate.value = truth.value;
+  answer.estimate.variance = 0.0;
+  answer.exact = true;
+  answer.hard_lb = truth.value;
+  answer.hard_ub = truth.value;
+  answer.population_rows = data_->NumRows();
+  answer.sample_rows_scanned = data_->NumRows();
+  answer.matched_sample_rows = truth.matched;
+  return answer;
+}
+
+SystemCosts ExactSystem::Costs() const {
+  SystemCosts costs;
+  costs.build_seconds = 0.0;  // nothing is precomputed
+  costs.storage_bytes = data_->SizeBytes();
+  return costs;
+}
+
+}  // namespace pass

@@ -1,0 +1,29 @@
+#ifndef PASS_ENGINE_EXACT_SYSTEM_H_
+#define PASS_ENGINE_EXACT_SYSTEM_H_
+
+#include <string>
+
+#include "core/aqp_system.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// Full-scan ground truth behind the AqpSystem interface, so the engine
+/// registry (and anything batch-shaped built on it) can treat "no
+/// approximation" as just another method. The dataset must outlive the
+/// system; nothing is copied.
+class ExactSystem final : public AqpSystem {
+ public:
+  explicit ExactSystem(const Dataset& data) : data_(&data) {}
+
+  QueryAnswer Answer(const Query& query) const override;
+  std::string Name() const override { return "Exact"; }
+  SystemCosts Costs() const override;
+
+ private:
+  const Dataset* data_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_EXACT_SYSTEM_H_

@@ -1,0 +1,60 @@
+#ifndef PASS_ENGINE_THREAD_POOL_H_
+#define PASS_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pass {
+
+/// Fixed-size worker pool behind the batch executor. Deliberately simple:
+/// a mutex-guarded FIFO is plenty for query-granularity tasks (each task
+/// scans a sample), and the fixed size is what serving layers want —
+/// the thread count is a capacity decision, not a per-batch one.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  /// The single definition of the 0-means-hardware rule, shared by the
+  /// constructor and by caches keyed on pool width (BatchExecutor::Shared).
+  static size_t ResolveNumThreads(size_t requested) {
+    if (requested != 0) return requested;
+    const size_t hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the pool is fully drained (every submitted task, from
+  /// any submitter, has finished). With concurrent submitters this is a
+  /// global quiescence point, not a per-caller barrier — BatchExecutor
+  /// uses its own per-batch latch for exactly that reason.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_THREAD_POOL_H_

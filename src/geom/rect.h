@@ -43,6 +43,9 @@ struct Interval {
   friend bool operator==(const Interval& a, const Interval& b) {
     return a.lo == b.lo && a.hi == b.hi;
   }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
 };
 
 /// An axis-aligned box over d predicate columns: the partitioning-condition
@@ -118,6 +121,7 @@ class Rect {
   friend bool operator==(const Rect& a, const Rect& b) {
     return a.dims_ == b.dims_;
   }
+  friend bool operator!=(const Rect& a, const Rect& b) { return !(a == b); }
 
  private:
   std::vector<Interval> dims_;

@@ -4,16 +4,25 @@
 #include <cmath>
 
 #include "common/macros.h"
-#include "common/stopwatch.h"
+#include "engine/batch_executor.h"
+#include "engine/exact_system.h"
 #include "stats/quantile.h"
 
 namespace pass {
 
 std::vector<ExactResult> ComputeGroundTruth(
     const Dataset& data, const std::vector<Query>& queries) {
+  const ExactSystem exact(data);
+  const BatchResult batch =
+      BatchExecutor::Shared(/*num_threads=*/0).Run(exact, queries);
   std::vector<ExactResult> out;
   out.reserve(queries.size());
-  for (const Query& q : queries) out.push_back(ExactAnswer(data, q));
+  for (const QueryAnswer& answer : batch.answers) {
+    ExactResult truth;
+    truth.value = answer.estimate.value;
+    truth.matched = answer.matched_sample_rows;
+    out.push_back(truth);
+  }
   return out;
 }
 
@@ -27,6 +36,9 @@ RunSummary EvaluateSystem(const AqpSystem& system,
   summary.num_queries = queries.size();
   summary.costs = system.Costs();
 
+  const BatchResult batch =
+      BatchExecutor::Shared(options.num_threads).Run(system, queries);
+
   std::vector<double> rel_errors;
   std::vector<double> ci_ratios;
   double skip_acc = 0.0;
@@ -36,22 +48,18 @@ RunSummary EvaluateSystem(const AqpSystem& system,
   size_t hard_covered = 0;
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    Stopwatch timer;
-    const QueryAnswer answer = system.Answer(queries[i]);
-    const double latency_ms = timer.ElapsedMillis();
+    const QueryAnswer& answer = batch.answers[i];
+    const double latency_ms = batch.latency_ms[i];
     latency_acc += latency_ms;
     summary.max_latency_ms = std::max(summary.max_latency_ms, latency_ms);
     skip_acc += answer.SkipRate();
     ess_acc += static_cast<double>(answer.sample_rows_scanned);
 
     const ExactResult& truth = truths[i];
-    const bool usable = truth.matched > 0 && std::isfinite(truth.value) &&
-                        truth.value != 0.0;
-    if (!usable) continue;
+    if (!UsableGroundTruth(truth)) continue;
     ++summary.num_scored;
 
-    rel_errors.push_back(std::abs(answer.estimate.value - truth.value) /
-                         std::abs(truth.value));
+    rel_errors.push_back(RelativeError(answer.estimate.value, truth));
     ci_ratios.push_back(answer.estimate.HalfWidth(options.lambda) /
                         std::abs(truth.value));
     if (answer.estimate.Contains(truth.value, options.lambda)) ++ci_covered;
@@ -70,6 +78,11 @@ RunSummary EvaluateSystem(const AqpSystem& system,
   summary.mean_skip_rate = skip_acc / std::max(nq, 1.0);
   summary.mean_ess = ess_acc / std::max(nq, 1.0);
   summary.mean_latency_ms = latency_acc / std::max(nq, 1.0);
+  if (!batch.latency_ms.empty()) {
+    summary.p50_latency_ms = LatencyQuantileMs(batch, 0.5);
+    summary.p95_latency_ms = LatencyQuantileMs(batch, 0.95);
+  }
+  summary.batch_qps = batch.Throughput();
   if (!rel_errors.empty()) {
     summary.median_rel_error = Median(rel_errors);
     summary.p95_rel_error = Quantile(rel_errors, 0.95);

@@ -25,7 +25,10 @@ struct RunSummary {
   double median_ci_ratio = 0.0;
   double mean_skip_rate = 0.0;
   double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
   double max_latency_ms = 0.0;
+  double batch_qps = 0.0;  // whole-batch throughput (queries/second)
   double mean_ess = 0.0;       // mean sample rows scanned per query
   double ci_coverage = 0.0;    // P(truth within the lambda CI)
   double hard_coverage = 1.0;  // P(truth within hard bounds | bounds given)
@@ -36,10 +39,15 @@ struct RunSummary {
 
 struct EvalOptions {
   double lambda = 2.576;  // 99%, the paper's default
+  /// Thread count for answering the workload through the BatchExecutor.
+  /// Defaults to 1 so per-query latencies stay comparable to the paper's
+  /// sequential measurements; 0 = hardware concurrency.
+  size_t num_threads = 1;
 };
 
 /// Ground truth via full scans — compute once per (dataset, workload) and
-/// share across all evaluated systems.
+/// share across all evaluated systems. Scans run across the hardware's
+/// threads (results are index-aligned and deterministic).
 std::vector<ExactResult> ComputeGroundTruth(const Dataset& data,
                                             const std::vector<Query>& queries);
 

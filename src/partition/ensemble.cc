@@ -1,6 +1,7 @@
 #include "partition/ensemble.h"
 
 #include <algorithm>
+#include <climits>
 
 namespace pass {
 

@@ -1,0 +1,124 @@
+#include "engine/engine_registry.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "data/generators.h"
+#include "engine/exact_system.h"
+
+namespace pass {
+namespace {
+
+const std::vector<std::string>& BuiltinNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "agg_uniform", "exact", "pass", "spn", "stratified", "uniform"};
+  return *names;
+}
+
+Dataset SmokeData() { return MakeUniform(4000, /*seed=*/11, 1.0, 2.0); }
+
+Query SmokeQuery() {
+  return MakeRangeQuery(AggregateType::kSum, 0.2, 0.8);
+}
+
+TEST(EngineRegistry, ListsEveryBuiltinEngine) {
+  const std::vector<std::string> names = EngineRegistry::Global().Names();
+  for (const std::string& name : BuiltinNames()) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "missing builtin engine: " << name;
+    EXPECT_TRUE(EngineRegistry::Global().Contains(name));
+  }
+}
+
+TEST(EngineRegistry, EveryBuiltinConstructsAndAnswers) {
+  const Dataset data = SmokeData();
+  const Query query = SmokeQuery();
+  const ExactResult truth = ExactAnswer(data, query);
+  ASSERT_GT(truth.matched, 0u);
+
+  EngineConfig config;
+  config.sample_rate = 0.05;
+  config.partitions = 16;
+  for (const std::string& name : BuiltinNames()) {
+    auto engine = EngineRegistry::Global().Create(name, data, config);
+    ASSERT_TRUE(engine.ok()) << name << ": " << engine.status().ToString();
+    ASSERT_NE(*engine, nullptr);
+    EXPECT_FALSE((*engine)->Name().empty());
+
+    const QueryAnswer answer = (*engine)->Answer(query);
+    EXPECT_TRUE(std::isfinite(answer.estimate.value)) << name;
+    // Smoke accuracy: every method should land in the right ballpark on
+    // this easy uniform workload (exact must be spot on).
+    const double rel =
+        std::abs(answer.estimate.value - truth.value) / truth.value;
+    if (name == "exact") {
+      EXPECT_DOUBLE_EQ(answer.estimate.value, truth.value);
+      EXPECT_TRUE(answer.exact);
+    } else {
+      EXPECT_LT(rel, 0.5) << name << " answered " << answer.estimate.value
+                          << " vs truth " << truth.value;
+    }
+  }
+}
+
+TEST(EngineRegistry, UnknownNameIsNotFound) {
+  const Dataset data = SmokeData();
+  auto engine =
+      EngineRegistry::Global().Create("no-such-engine", data, EngineConfig{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineRegistry, InvalidConfigIsRejected) {
+  const Dataset data = SmokeData();
+  EngineConfig config;
+  config.sample_rate = 0.0;
+  for (const std::string& name : BuiltinNames()) {
+    auto engine = EngineRegistry::Global().Create(name, data, config);
+    ASSERT_FALSE(engine.ok()) << name;
+    EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument) << name;
+  }
+}
+
+TEST(EngineRegistry, OutOfRangeDimIsRejected) {
+  const Dataset data = SmokeData();  // 1 predicate dimension
+  EngineConfig config;
+  config.dim = 5;
+  for (const std::string name : {"stratified", "agg_uniform"}) {
+    auto engine = EngineRegistry::Global().Create(name, data, config);
+    ASSERT_FALSE(engine.ok()) << name;
+    EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument) << name;
+  }
+}
+
+TEST(EngineRegistry, EmptyDatasetIsRejected) {
+  const Dataset empty("agg", {"c1"});
+  auto engine =
+      EngineRegistry::Global().Create("uniform", empty, EngineConfig{});
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineRegistry, CustomRegistrationIsCreatable) {
+  EngineRegistry registry;
+  registry.Register("custom-exact",
+                    [](const Dataset& data, const EngineConfig&)
+                        -> Result<std::unique_ptr<AqpSystem>> {
+                      return std::unique_ptr<AqpSystem>(new ExactSystem(data));
+                    });
+  EXPECT_TRUE(registry.Contains("custom-exact"));
+  EXPECT_FALSE(registry.Contains("exact"));  // fresh registry, no builtins
+
+  const Dataset data = SmokeData();
+  auto engine = registry.Create("custom-exact", data, EngineConfig{});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->Name(), "Exact");
+}
+
+}  // namespace
+}  // namespace pass
