@@ -159,6 +159,61 @@ int main() {
   }
   table.Print();
 
+  // Shard-count sweep: the same workload through "sharded_pass" at growing
+  // K under a fair-total budget, so the artifact tracks what sharding buys
+  // (parallel fan-out, smaller per-shard scans) and costs (merge overhead,
+  // per-shard variance addition) across PRs. K=1 is not re-benchmarked:
+  // the registry loop above already measured "sharded_pass" at its default
+  // num_shards=1, and that row doubles as the sweep baseline (the CI
+  // artifact slice keys on the "sharded_pass" prefix).
+  TablePrinter shard_table({"shards", "build_s", "p50_ms", "p95_ms",
+                            "med_rel_err", "qps_1t", "qps_mt"});
+  for (const MethodRow& r : rows) {
+    if (r.method == "sharded_pass") {
+      shard_table.AddRow({"1 (above)", FormatDouble(r.build_seconds, 3),
+                          FormatDouble(r.p50_latency_ms, 4),
+                          FormatDouble(r.p95_latency_ms, 4),
+                          FormatDouble(r.median_rel_error, 4),
+                          FormatDouble(r.qps_sequential, 6),
+                          FormatDouble(r.qps_parallel, 6)});
+    }
+  }
+  for (const size_t k : {size_t{2}, size_t{4}, size_t{8}}) {
+    EngineConfig shard_config = config;
+    shard_config.num_shards = k;
+    const std::unique_ptr<AqpSystem> engine =
+        MustMakeEngine("sharded_pass", data, shard_config);
+    (void)sequential.Run(*engine, queries);
+    const BatchResult seq = sequential.Run(*engine, queries);
+    const BatchResult par = parallel.Run(*engine, queries);
+    const BatchErrorSummary err = BatchExecutor::Score(seq, truths);
+    const SystemCosts costs = engine->Costs();
+
+    MethodRow row;
+    char method[32];
+    std::snprintf(method, sizeof(method), "sharded_pass_k%zu", k);
+    row.method = method;
+    row.build_seconds = costs.build_seconds;
+    row.storage_bytes = costs.storage_bytes;
+    row.p50_latency_ms = LatencyQuantileMs(seq, 0.5);
+    row.p95_latency_ms = LatencyQuantileMs(seq, 0.95);
+    row.median_rel_error = err.median_rel_error;
+    row.p95_rel_error = err.p95_rel_error;
+    row.qps_sequential = seq.Throughput();
+    row.qps_parallel = par.Throughput();
+    row.parallel_threads = par.num_threads;
+    rows.push_back(row);
+
+    shard_table.AddRow({std::to_string(k), FormatDouble(row.build_seconds, 3),
+                        FormatDouble(row.p50_latency_ms, 4),
+                        FormatDouble(row.p95_latency_ms, 4),
+                        FormatDouble(row.median_rel_error, 4),
+                        FormatDouble(row.qps_sequential, 6),
+                        FormatDouble(row.qps_parallel, 6)});
+  }
+  std::printf("\nsharded_pass shard-count sweep:\n");
+  shard_table.Print();
+
   const size_t num_engines = rows.size();
 
   // Kernel timings backing the paper's complexity claims: the MCF index

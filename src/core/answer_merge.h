@@ -1,0 +1,49 @@
+#ifndef PASS_CORE_ANSWER_MERGE_H_
+#define PASS_CORE_ANSWER_MERGE_H_
+
+#include <vector>
+
+#include "core/answer.h"
+#include "core/query.h"
+
+namespace pass {
+
+/// Mergeable-answer algebra: combines per-shard QueryAnswers produced over
+/// a disjoint partition of one dataset into the answer the whole dataset
+/// would give, following the sampling-estimator combination rules
+/// (Nirkhiwale et al.'s sampling algebra; cf. Section 2 of the paper):
+///
+///  - COUNT/SUM: shard estimators are independent, so the merged estimate
+///    is the sum of estimates and the merged variance the sum of
+///    variances. Hard bounds add; the merge is exact iff every part is.
+///  - MIN/MAX: the merged estimate is the best shard estimate; hard bounds
+///    combine as min/max of the shard bounds.
+///  - AVG: the ratio combination SUM/COUNT over the merged SUM and COUNT
+///    estimators, with the delta-method variance. The within-shard
+///    covariance between the SUM and COUNT estimators is recovered from
+///    each shard's own AVG variance (which already embeds it); recoveries
+///    outside the Cauchy-Schwarz range are discarded as unreliable.
+///
+/// Diagnostics (rows, skip counts, node counts) always add.
+
+/// Merges per-shard answers for COUNT, SUM, MIN or MAX queries. `parts`
+/// must be non-empty and all shards must partition the same population.
+/// AVG queries need the three-answer form below.
+QueryAnswer MergeShardAnswers(AggregateType agg,
+                              const std::vector<QueryAnswer>& parts);
+
+/// One shard's contribution to a merged AVG: the shard's own AVG answer
+/// (hard bounds, diagnostics, covariance recovery) plus its SUM and COUNT
+/// answers for the same predicate (the mergeable estimators).
+struct AvgShardParts {
+  QueryAnswer avg;
+  QueryAnswer sum;
+  QueryAnswer count;
+};
+
+/// Ratio-combined AVG over shards. `parts` must be non-empty.
+QueryAnswer MergeShardAvg(const std::vector<AvgShardParts>& parts);
+
+}  // namespace pass
+
+#endif  // PASS_CORE_ANSWER_MERGE_H_

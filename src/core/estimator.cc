@@ -193,10 +193,8 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
         if (r.count <= 0.0) {
           // No evidence of any matching tuple: report the hard-bound
           // midpoint if available, else 0, with zero confidence.
-          out.estimate.value = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
-          out.estimate.variance =
-              hard.valid ? (hard.ub - hard.lb) * (hard.ub - hard.lb) / 12.0
-                         : 0.0;
+          out.estimate =
+              hard.valid ? MidpointOverBounds(hard.lb, hard.ub) : Estimate{};
         } else {
           const double ratio = r.sum / r.count;
           double var = (r.var_sum - 2.0 * ratio * r.cov +
@@ -213,10 +211,8 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
           if (p.scan.matched > 0) n_q += p.n_pop;
         }
         if (n_q <= 0.0) {
-          out.estimate.value = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
-          out.estimate.variance =
-              hard.valid ? (hard.ub - hard.lb) * (hard.ub - hard.lb) / 12.0
-                         : 0.0;
+          out.estimate =
+              hard.valid ? MidpointOverBounds(hard.lb, hard.ub) : Estimate{};
           break;
         }
         double value = covered_stats.count > 0

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/status.h"
 #include "core/estimator.h"
 #include "core/query.h"
 #include "partition/build_options.h"
+#include "shard/shard_options.h"
 
 namespace pass {
 
@@ -38,6 +40,25 @@ struct EngineConfig {
   /// Fraction of rows the SPN baseline trains on (DeepDB-10% uses 0.1).
   double spn_train_fraction = 1.0;
 
+  /// Number of data shards for the "sharded_pass" engine; partitions and
+  /// the sampling budget are split fair-total across them. 1 = unsharded.
+  size_t num_shards = 1;
+
+  /// How rows are assigned to shards (see shard/shard_planner.h).
+  ShardStrategy shard_strategy = ShardStrategy::kRoundRobin;
+
+  /// Predicate column the range/hash shard strategies key on.
+  size_t shard_dim = 0;
+
+  /// Fan per-shard query work onto the shared ParallelShardExecutor pool
+  /// (answers are bit-identical to the sequential path either way).
+  bool shard_parallel = true;
+
+  /// Query templates for the "ensemble" engine: one PASS member is built
+  /// per template over exactly these partition dims, with a fair-total
+  /// budget split. Empty = one 1-D member per predicate column.
+  std::vector<std::vector<size_t>> ensemble_templates;
+
   /// Estimator configuration shared by the sampling-based engines.
   EstimatorOptions estimator;
 
@@ -58,6 +79,15 @@ struct EngineConfig {
     }
     if (!(spn_train_fraction > 0.0) || spn_train_fraction > 1.0) {
       return Status::InvalidArgument("spn_train_fraction must be in (0, 1]");
+    }
+    if (num_shards == 0) {
+      return Status::InvalidArgument("num_shards must be >= 1");
+    }
+    for (const auto& dims : ensemble_templates) {
+      if (dims.empty()) {
+        return Status::InvalidArgument(
+            "ensemble templates must name at least one dim");
+      }
     }
     return Status::Ok();
   }

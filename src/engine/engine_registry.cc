@@ -9,6 +9,8 @@
 #include "core/synopsis.h"
 #include "engine/exact_system.h"
 #include "partition/builder.h"
+#include "partition/ensemble.h"
+#include "shard/sharded_synopsis.h"
 
 namespace pass {
 namespace {
@@ -60,7 +62,7 @@ SystemResult MakeSpn(const Dataset& data, const EngineConfig& config) {
   return std::unique_ptr<AqpSystem>(new SpnSystem(data, options));
 }
 
-SystemResult MakePass(const Dataset& data, const EngineConfig& config) {
+BuildOptions PassBuildOptions(const EngineConfig& config) {
   BuildOptions options;
   options.num_leaves = config.partitions;
   options.sample_rate = config.sample_rate;
@@ -69,10 +71,52 @@ SystemResult MakePass(const Dataset& data, const EngineConfig& config) {
   options.opt_sample_size = config.opt_sample_size;
   options.seed = config.seed;
   options.estimator = config.estimator;
-  Result<Synopsis> built = BuildSynopsis(data, options);
+  return options;
+}
+
+SystemResult MakePass(const Dataset& data, const EngineConfig& config) {
+  Result<Synopsis> built = BuildSynopsis(data, PassBuildOptions(config));
   if (!built.ok()) return built.status();
   return std::unique_ptr<AqpSystem>(
       new Synopsis(std::move(built).value()));
+}
+
+SystemResult MakeShardedPass(const Dataset& data,
+                             const EngineConfig& config) {
+  ShardedBuildOptions options;
+  options.shard.num_shards = config.num_shards;
+  options.shard.strategy = config.shard_strategy;
+  options.shard.dim = config.shard_dim;
+  options.base = PassBuildOptions(config);
+  Result<ShardedSynopsis> built = BuildShardedSynopsis(data, options);
+  if (!built.ok()) return built.status();
+  auto system =
+      std::make_unique<ShardedSynopsis>(std::move(built).value());
+  if (config.shard_parallel) {
+    system->set_executor(&ParallelShardExecutor::Shared());
+  }
+  return std::unique_ptr<AqpSystem>(std::move(system));
+}
+
+SystemResult MakeEnsemble(const Dataset& data, const EngineConfig& config) {
+  std::vector<std::vector<size_t>> templates = config.ensemble_templates;
+  if (templates.empty()) {
+    // Default: one 1-D member per predicate column.
+    for (size_t d = 0; d < data.NumPredDims(); ++d) templates.push_back({d});
+  }
+  for (const auto& dims : templates) {
+    for (const size_t dim : dims) {
+      if (dim >= data.NumPredDims()) {
+        return Status::InvalidArgument(
+            "ensemble template dim is out of range for the dataset");
+      }
+    }
+  }
+  Result<SynopsisEnsemble> built =
+      BuildEnsemble(data, templates, PassBuildOptions(config));
+  if (!built.ok()) return built.status();
+  return std::unique_ptr<AqpSystem>(
+      new SynopsisEnsemble(std::move(built).value()));
 }
 
 }  // namespace
@@ -86,6 +130,8 @@ EngineRegistry& EngineRegistry::Global() {
     r->Register("agg_uniform", MakeAggUniform);
     r->Register("spn", MakeSpn);
     r->Register("pass", MakePass);
+    r->Register("sharded_pass", MakeShardedPass);
+    r->Register("ensemble", MakeEnsemble);
     return r;
   }();
   return *registry;

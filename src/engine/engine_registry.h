@@ -17,7 +17,7 @@ namespace pass {
 /// Constructs any AQP method in this repository by name from one common
 /// EngineConfig, so serving layers, benches and tests are decoupled from
 /// per-method constructors. Built-in names: "exact", "uniform",
-/// "stratified", "agg_uniform", "spn", "pass".
+/// "stratified", "agg_uniform", "spn", "pass", "sharded_pass", "ensemble".
 ///
 /// Constructed engines may keep a pointer to the dataset (exact, spn); the
 /// dataset must outlive every engine built from it.

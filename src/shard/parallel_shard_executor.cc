@@ -1,0 +1,52 @@
+#include "shard/parallel_shard_executor.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace pass {
+
+ParallelShardExecutor::ParallelShardExecutor(size_t num_threads)
+    : pool_(num_threads) {}
+
+ParallelShardExecutor& ParallelShardExecutor::Shared(size_t num_threads) {
+  num_threads = ThreadPool::ResolveNumThreads(num_threads);
+  static std::mutex* mu = new std::mutex();
+  static auto* executors =
+      new std::map<size_t, std::unique_ptr<ParallelShardExecutor>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  std::unique_ptr<ParallelShardExecutor>& executor = (*executors)[num_threads];
+  if (executor == nullptr) {
+    executor = std::make_unique<ParallelShardExecutor>(num_threads);
+  }
+  return *executor;
+}
+
+void ParallelShardExecutor::ForEachShard(
+    size_t num_shards, const std::function<void(size_t)>& fn) const {
+  if (num_shards == 0) return;
+  if (num_shards == 1) {
+    fn(0);  // nothing to fan out; skip the latch round-trip
+    return;
+  }
+  // Per-call latch (not ThreadPool::Wait): concurrent callers interleave
+  // tasks in the shared pool and each must wait only for its own shards.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  } latch{{}, {}, num_shards};
+
+  for (size_t i = 0; i < num_shards; ++i) {
+    pool_.Submit([&fn, &latch, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch.mu);
+      if (--latch.remaining == 0) latch.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+}
+
+}  // namespace pass

@@ -1,0 +1,40 @@
+#ifndef PASS_SHARD_SHARD_PLANNER_H_
+#define PASS_SHARD_SHARD_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "shard/shard_options.h"
+#include "storage/dataset.h"
+
+namespace pass {
+
+/// Row-id assignment of one dataset to K shards: plan[s] lists the rows of
+/// shard s, each row id appearing in exactly one shard. Shards may be
+/// empty (hash skew, K > N).
+using ShardPlan = std::vector<std::vector<uint32_t>>;
+
+/// Splits a Dataset into K shards for ShardedSynopsis (or any per-shard
+/// builder). Planning is deterministic in (data, options).
+class ShardPlanner {
+ public:
+  explicit ShardPlanner(ShardOptions options) : options_(options) {}
+
+  const ShardOptions& options() const { return options_; }
+
+  /// Assigns every row to a shard. Fails on num_shards == 0 or an
+  /// out-of-range range/hash dimension.
+  Result<ShardPlan> Plan(const Dataset& data) const;
+
+  /// Plan + materialize: one columnar Dataset per shard (empty shards are
+  /// kept so indices line up with the plan).
+  Result<std::vector<Dataset>> Split(const Dataset& data) const;
+
+ private:
+  ShardOptions options_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_SHARD_SHARD_PLANNER_H_

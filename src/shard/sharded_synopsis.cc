@@ -1,0 +1,116 @@
+#include "shard/sharded_synopsis.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/answer_merge.h"
+
+namespace pass {
+
+void ShardedSynopsis::Add(Synopsis synopsis) {
+  shards_.push_back(std::make_unique<Synopsis>(std::move(synopsis)));
+}
+
+uint64_t ShardedSynopsis::NumRows() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->NumRows();
+  return total;
+}
+
+QueryAnswer ShardedSynopsis::Answer(const Query& query) const {
+  PASS_CHECK_MSG(!shards_.empty(), "sharded synopsis has no shards");
+  // One shard needs no merging: delegate, keeping the answer bit-identical
+  // to the plain synopsis (including the AVG estimator path).
+  if (shards_.size() == 1) return shards_[0]->Answer(query);
+
+  const size_t k = shards_.size();
+  if (query.agg == AggregateType::kAvg) {
+    // AVG merges the per-shard SUM and COUNT estimators (the mergeable
+    // quantities); the shard's own AVG answer supplies hard bounds,
+    // diagnostics and the embedded SUM/COUNT covariance. This costs three
+    // frontier walks + scans per shard; a fused multi-aggregate estimator
+    // path would cut that to one (tracked in the ROADMAP).
+    std::vector<AvgShardParts> parts(k);
+    Query sum_query = query;
+    sum_query.agg = AggregateType::kSum;
+    Query count_query = query;
+    count_query.agg = AggregateType::kCount;
+    const auto answer_shard = [&](size_t i) {
+      parts[i].avg = shards_[i]->Answer(query);
+      parts[i].sum = shards_[i]->Answer(sum_query);
+      parts[i].count = shards_[i]->Answer(count_query);
+    };
+    if (executor_ != nullptr) {
+      executor_->ForEachShard(k, answer_shard);
+    } else {
+      for (size_t i = 0; i < k; ++i) answer_shard(i);
+    }
+    return MergeShardAvg(parts);
+  }
+
+  std::vector<QueryAnswer> parts(k);
+  const auto answer_shard = [&](size_t i) {
+    parts[i] = shards_[i]->Answer(query);
+  };
+  if (executor_ != nullptr) {
+    executor_->ForEachShard(k, answer_shard);
+  } else {
+    for (size_t i = 0; i < k; ++i) answer_shard(i);
+  }
+  return MergeShardAnswers(query.agg, parts);
+}
+
+SystemCosts ShardedSynopsis::Costs() const {
+  SystemCosts total;
+  for (const auto& shard : shards_) {
+    const SystemCosts c = shard->Costs();
+    total.build_seconds += c.build_seconds;
+    total.storage_bytes += c.storage_bytes;
+  }
+  return total;
+}
+
+Result<ShardedSynopsis> BuildShardedSynopsis(
+    const Dataset& data, const ShardedBuildOptions& options) {
+  const ShardPlanner planner(options.shard);
+  Result<std::vector<Dataset>> shards = planner.Split(data);
+  if (!shards.ok()) return shards.status();
+
+  const double n = static_cast<double>(data.NumRows());
+  ShardedSynopsis sharded;
+  for (size_t s = 0; s < shards->size(); ++s) {
+    const Dataset& shard_data = (*shards)[s];
+    if (shard_data.NumRows() == 0) continue;  // contributes nothing
+    const double fraction = static_cast<double>(shard_data.NumRows()) / n;
+    BuildOptions shard_options = options.base;
+    // Fair-total split: leaves and stored-sample budget proportional to
+    // the shard's row share (sample_rate is per-row, so it already is).
+    shard_options.num_leaves = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::lround(static_cast<double>(options.base.num_leaves) *
+                           fraction)));
+    if (options.base.sample_budget.has_value()) {
+      shard_options.sample_budget = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(
+                 static_cast<double>(*options.base.sample_budget) *
+                 fraction)));
+    }
+    // Distinct per-shard streams; shard 0 keeps the base seed so K=1
+    // reproduces the unsharded build bit for bit.
+    shard_options.seed = options.base.seed + s * 7919;
+    Result<Synopsis> built = BuildSynopsis(shard_data, shard_options);
+    if (!built.ok()) return built.status();
+    sharded.Add(std::move(built).value());
+  }
+  if (sharded.NumShards() == 0) {
+    return Status::FailedPrecondition("every shard is empty");
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "Sharded-PASS[%zux %s]",
+                sharded.NumShards(),
+                ShardStrategyName(options.shard.strategy));
+  sharded.set_name(name);
+  return sharded;
+}
+
+}  // namespace pass

@@ -1,0 +1,82 @@
+#ifndef PASS_SHARD_SHARDED_SYNOPSIS_H_
+#define PASS_SHARD_SHARDED_SYNOPSIS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/synopsis.h"
+#include "partition/builder.h"
+#include "shard/parallel_shard_executor.h"
+#include "shard/shard_planner.h"
+
+namespace pass {
+
+/// Serving-scale extension beyond the paper: the dataset is partitioned
+/// across K independent PASS synopses (one per shard) and every query is
+/// answered by merging the per-shard answers with the mergeable-answer
+/// algebra (core/answer_merge.h). Because shards partition the rows and
+/// sample independently, COUNT/SUM estimates and variances add, AVG is the
+/// ratio over the merged SUM and COUNT estimators, and MIN/MAX combine the
+/// shard extrema — hard bounds stay deterministic through the merge.
+///
+/// With one shard this is exactly a plain PASS synopsis (answers are
+/// delegated unmerged, bit for bit). Per-shard work can be fanned onto a
+/// ParallelShardExecutor; answers are identical either way.
+class ShardedSynopsis final : public AqpSystem {
+ public:
+  ShardedSynopsis() = default;
+
+  /// Adds one shard's synopsis. Shards must cover disjoint row sets of the
+  /// same logical dataset; builders guarantee this.
+  void Add(Synopsis synopsis);
+
+  size_t NumShards() const { return shards_.size(); }
+  const Synopsis& shard(size_t i) const {
+    PASS_DCHECK(i < shards_.size());
+    return *shards_[i];
+  }
+
+  /// Total rows across all shards.
+  uint64_t NumRows() const;
+
+  /// Fans per-shard answering onto `executor` (nullptr = sequential).
+  /// The executor must outlive the synopsis and must not share a pool
+  /// with a BatchExecutor answering through this synopsis (see
+  /// ParallelShardExecutor's deadlock note).
+  void set_executor(const ParallelShardExecutor* executor) {
+    executor_ = executor;
+  }
+  const ParallelShardExecutor* executor() const { return executor_; }
+
+  // AqpSystem:
+  QueryAnswer Answer(const Query& query) const override;
+  std::string Name() const override { return name_; }
+  SystemCosts Costs() const override;
+
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::vector<std::unique_ptr<Synopsis>> shards_;
+  const ParallelShardExecutor* executor_ = nullptr;
+  std::string name_ = "Sharded-PASS";
+};
+
+/// Everything needed to build a ShardedSynopsis from one dataset.
+struct ShardedBuildOptions {
+  ShardOptions shard;
+  /// Whole-dataset build configuration; each shard gets leaves and
+  /// sampling budget proportional to its row count (the fair-total split:
+  /// K shards together spend what one synopsis built with `base` would).
+  BuildOptions base;
+};
+
+/// Plans the shards, builds one PASS synopsis per nonempty shard (an empty
+/// shard holds no rows, hence contributes exactly nothing to any merged
+/// answer, and is dropped), and assembles the ShardedSynopsis.
+Result<ShardedSynopsis> BuildShardedSynopsis(
+    const Dataset& data, const ShardedBuildOptions& options);
+
+}  // namespace pass
+
+#endif  // PASS_SHARD_SHARDED_SYNOPSIS_H_

@@ -42,6 +42,15 @@ struct Estimate {
   }
 };
 
+/// The shared no-evidence fallback: when an estimator has no sampled
+/// support for a query, it reports the midpoint of the deterministic
+/// bounds with the variance of a uniform distribution over them. One
+/// definition for the estimator and the shard merge algebra so the
+/// convention cannot drift.
+inline Estimate MidpointOverBounds(double lb, double ub) {
+  return {0.5 * (lb + ub), (ub - lb) * (ub - lb) / 12.0};
+}
+
 }  // namespace pass
 
 #endif  // PASS_STATS_CONFIDENCE_H_

@@ -35,6 +35,19 @@ Dataset Dataset::WithPredDims(size_t num_dims) const {
   return out;
 }
 
+Dataset Dataset::Subset(const std::vector<uint32_t>& row_ids) const {
+  Dataset out(agg_name_, pred_names_);
+  out.Reserve(row_ids.size());
+  for (const uint32_t row : row_ids) {
+    PASS_CHECK_MSG(row < NumRows(), "subset row id out of range");
+    out.agg_.push_back(agg_[row]);
+    for (size_t d = 0; d < pred_cols_.size(); ++d) {
+      out.pred_cols_[d].push_back(pred_cols_[d][row]);
+    }
+  }
+  return out;
+}
+
 std::vector<uint32_t> Dataset::SortedPermutation(size_t dim) const {
   PASS_CHECK(dim < pred_cols_.size());
   std::vector<uint32_t> perm(NumRows());

@@ -55,6 +55,11 @@ class Dataset {
   /// Copies columns; aggregate column is shared content-wise.
   Dataset WithPredDims(size_t num_dims) const;
 
+  /// A dataset containing exactly the given rows, in the given order (the
+  /// shard-view primitive behind ShardPlanner). Ids may repeat; each must
+  /// be < NumRows().
+  Dataset Subset(const std::vector<uint32_t>& row_ids) const;
+
   /// Row ids 0..N-1 sorted ascending by predicate column `dim` (stable).
   std::vector<uint32_t> SortedPermutation(size_t dim) const;
 

@@ -1,0 +1,106 @@
+#ifndef PASS_TESTS_STATISTICAL_TEST_UTIL_H_
+#define PASS_TESTS_STATISTICAL_TEST_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "stats/confidence.h"
+
+namespace pass {
+namespace testing {
+
+/// Reusable statistical assertions for estimator tests: run R repetitions
+/// of a seed-deterministic estimator against a known ground truth, then
+/// assert the properties the sampling literature promises — CI coverage at
+/// (close to) the nominal rate, unbiasedness of the mean estimate, and a
+/// variance estimate in the same ballpark as the empirical one. Seeds are
+/// fixed by the caller, so each assertion is fully deterministic; the
+/// tolerances absorb the (frozen) Monte-Carlo noise of R repetitions.
+
+/// Everything the assertions below need, computed in one pass over the
+/// trials. `coverage` uses the lambda the caller evaluated at.
+struct TrialStats {
+  size_t trials = 0;
+  double truth = 0.0;
+  double lambda = kLambda95;
+  double mean_estimate = 0.0;
+  double empirical_variance = 0.0;      // across-trial variance of estimates
+  double mean_reported_variance = 0.0;  // mean of the estimator's variances
+  double coverage = 0.0;  // fraction of trials whose CI contains truth
+};
+
+/// Runs `trials` repetitions of `answer(seed)` — any callable returning an
+/// Estimate that is deterministic in its seed — on decorrelated seeds
+/// derived from `base_seed`.
+template <typename AnswerFn>
+TrialStats RunEstimatorTrials(size_t trials, uint64_t base_seed, double truth,
+                              double lambda, AnswerFn&& answer) {
+  TrialStats stats;
+  stats.trials = trials;
+  stats.truth = truth;
+  stats.lambda = lambda;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t covered = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    const Estimate estimate = answer(base_seed + 9973 * t);
+    sum += estimate.value;
+    sum_sq += estimate.value * estimate.value;
+    stats.mean_reported_variance += estimate.variance;
+    if (estimate.Contains(truth, lambda)) ++covered;
+  }
+  const double r = static_cast<double>(trials);
+  stats.mean_estimate = sum / r;
+  stats.empirical_variance =
+      std::max(0.0, sum_sq / r - stats.mean_estimate * stats.mean_estimate);
+  stats.mean_reported_variance /= r;
+  stats.coverage = static_cast<double>(covered) / r;
+  return stats;
+}
+
+/// CI coverage must reach the nominal rate minus a Monte-Carlo tolerance
+/// (e.g. nominal 0.95, tolerance 0.05 -> at least 90% of the CIs contain
+/// the truth — the acceptance bar for every estimator in this repo).
+inline void ExpectCoverageAtLeast(const TrialStats& stats, double nominal,
+                                  double tolerance) {
+  EXPECT_GE(stats.coverage, nominal - tolerance)
+      << "CI coverage " << stats.coverage << " over " << stats.trials
+      << " trials is below nominal " << nominal << " - " << tolerance
+      << " (lambda " << stats.lambda << ", truth " << stats.truth << ")";
+}
+
+/// The mean estimate across trials must match the truth within a relative
+/// tolerance (absolute when the truth is 0).
+inline void ExpectUnbiased(const TrialStats& stats, double rel_tolerance) {
+  const double scale = stats.truth == 0.0 ? 1.0 : std::abs(stats.truth);
+  EXPECT_NEAR(stats.mean_estimate, stats.truth, rel_tolerance * scale)
+      << "mean of " << stats.trials << " estimates drifted from the truth";
+}
+
+/// The estimator's own variance must agree with the across-trial variance
+/// within a ratio band: lo <= reported / empirical <= hi. Catches both
+/// overconfident intervals (under-reported variance -> under-coverage) and
+/// uselessly wide ones. Skipped when both variances are ~0 (exact paths).
+inline void ExpectVarianceSane(const TrialStats& stats, double lo = 0.2,
+                               double hi = 5.0) {
+  if (stats.empirical_variance <= 0.0 &&
+      stats.mean_reported_variance <= 0.0) {
+    return;
+  }
+  ASSERT_GT(stats.empirical_variance, 0.0)
+      << "estimates never varied but variance was reported";
+  const double ratio = stats.mean_reported_variance / stats.empirical_variance;
+  EXPECT_GE(ratio, lo) << "reported variance understates the empirical one "
+                       << "(reported " << stats.mean_reported_variance
+                       << ", empirical " << stats.empirical_variance << ")";
+  EXPECT_LE(ratio, hi) << "reported variance overstates the empirical one "
+                       << "(reported " << stats.mean_reported_variance
+                       << ", empirical " << stats.empirical_variance << ")";
+}
+
+}  // namespace testing
+}  // namespace pass
+
+#endif  // PASS_TESTS_STATISTICAL_TEST_UTIL_H_

@@ -1,0 +1,209 @@
+/// Direct unit tests of the mergeable-answer algebra on hand-built
+/// QueryAnswers, pinning the combination rules independently of any
+/// synopsis: additive SUM/COUNT merging, the evidence-aware MIN/MAX
+/// bound union, and the AVG ratio combination with covariance recovery.
+
+#include "core/answer_merge.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pass {
+namespace {
+
+/// A shard answer that sampled some rows: partial leaves, matched rows.
+QueryAnswer Sampled(double value, double variance, double lb, double ub) {
+  QueryAnswer a;
+  a.estimate = {value, variance};
+  a.hard_lb = lb;
+  a.hard_ub = ub;
+  a.partial_leaves = 1;
+  a.matched_sample_rows = 5;
+  a.population_rows = 100;
+  a.sample_rows_scanned = 10;
+  return a;
+}
+
+/// A shard whose frontier was fully covered: exact answer.
+QueryAnswer Exact(double value) {
+  QueryAnswer a;
+  a.estimate = {value, 0.0};
+  a.hard_lb = value;
+  a.hard_ub = value;
+  a.exact = true;
+  a.covered_nodes = 1;
+  a.population_rows = 100;
+  return a;
+}
+
+/// A shard no partition of which intersects the query.
+QueryAnswer Disjoint() {
+  QueryAnswer a;
+  a.exact = true;
+  a.population_rows = 100;
+  a.population_rows_skipped = 100;
+  return a;
+}
+
+/// A shard that intersects the query but matched nothing anywhere: its
+/// inner MIN/MAX bound is only conditionally valid.
+QueryAnswer IntersectingNoEvidence(double lb, double ub) {
+  QueryAnswer a;
+  a.estimate = {0.5 * (lb + ub), 0.0};
+  a.hard_lb = lb;
+  a.hard_ub = ub;
+  a.partial_leaves = 2;
+  a.matched_sample_rows = 0;
+  a.population_rows = 100;
+  a.sample_rows_scanned = 10;
+  return a;
+}
+
+TEST(AnswerMerge, SumAddsEverything) {
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kSum,
+      {Sampled(10.0, 4.0, 5.0, 18.0), Sampled(20.0, 9.0, 12.0, 30.0),
+       Exact(7.0)});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 37.0);
+  EXPECT_DOUBLE_EQ(merged.estimate.variance, 13.0);
+  EXPECT_FALSE(merged.exact);
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 5.0 + 12.0 + 7.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 18.0 + 30.0 + 7.0);
+  EXPECT_EQ(merged.population_rows, 300u);
+  EXPECT_EQ(merged.matched_sample_rows, 10u);
+}
+
+TEST(AnswerMerge, ExactPartsStayExact) {
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kCount, {Exact(40.0), Exact(2.0), Disjoint()});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 42.0);
+  EXPECT_TRUE(merged.exact);
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  // The disjoint shard contributes exactly [0, 0] despite carrying no
+  // explicit bounds.
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 42.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 42.0);
+}
+
+TEST(AnswerMerge, MissingBoundsOnSampledPartDropMergedBounds) {
+  QueryAnswer no_bounds = Sampled(10.0, 4.0, 0.0, 0.0);
+  no_bounds.hard_lb.reset();
+  no_bounds.hard_ub.reset();
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kSum, {no_bounds, Sampled(20.0, 9.0, 12.0, 30.0)});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 30.0);
+  EXPECT_FALSE(merged.hard_lb.has_value());
+  EXPECT_FALSE(merged.hard_ub.has_value());
+}
+
+TEST(AnswerMerge, MinTakesBestEvidenceAndUnionBounds) {
+  // Shard bounds [2, 9] and [4, 6]; both have evidence. Union min is >=
+  // min(2, 4) and <= min(9, 6).
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kMin,
+      {Sampled(9.0, 0.0, 2.0, 9.0), Sampled(6.0, 0.0, 4.0, 6.0)});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 6.0);
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 2.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 6.0);
+}
+
+// Regression: a shard that overlaps the query without containing any
+// matching row reports an upper bound that is valid only for itself *if*
+// it had a match. It must not shrink the union's MIN upper bound below a
+// shard with provable matches.
+TEST(AnswerMerge, MinIgnoresInnerBoundOfNoEvidenceShard) {
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kMin,
+      {IntersectingNoEvidence(1.0, 10.0),  // would wrongly cap ub at 10
+       Sampled(50.0, 0.0, 40.0, 50.0)});   // provably holds the min <= 50
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 50.0);
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 1.0);   // outer bound stays unconditional
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 50.0);  // not 10: true min may be 45
+}
+
+TEST(AnswerMerge, MaxMirrorsMinForNoEvidenceShards) {
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kMax,
+      {IntersectingNoEvidence(90.0, 100.0),  // would wrongly lift lb to 90
+       Sampled(50.0, 0.0, 50.0, 60.0)});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 50.0);
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 50.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 100.0);
+}
+
+// With no evidence anywhere the weakest inner bound must be used: a
+// match, if any, could be in either shard.
+TEST(AnswerMerge, MinWithoutAnyEvidenceUsesWeakestUpperBound) {
+  const QueryAnswer merged = MergeShardAnswers(
+      AggregateType::kMin,
+      {IntersectingNoEvidence(1.0, 10.0), IntersectingNoEvidence(3.0, 25.0)});
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 1.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 25.0);
+}
+
+AvgShardParts MakeAvgParts(double sum, double var_s, double count,
+                           double var_c, double cov, double lb, double ub) {
+  AvgShardParts p;
+  p.sum = Sampled(sum, var_s, 0.0, 2.0 * sum);
+  p.count = Sampled(count, var_c, 0.0, 2.0 * count);
+  const double r = sum / count;
+  const double var_avg =
+      (var_s - 2.0 * r * cov + r * r * var_c) / (count * count);
+  p.avg = Sampled(r, var_avg, lb, ub);
+  return p;
+}
+
+TEST(AnswerMerge, AvgIsRatioWithRecoveredCovariance) {
+  // Two shards with known delta-method inputs; covariances chosen within
+  // the Cauchy-Schwarz range so recovery is exact.
+  const AvgShardParts a = MakeAvgParts(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
+  const AvgShardParts b = MakeAvgParts(80.0, 9.0, 40.0, 1.0, 2.0, 1.0, 3.0);
+  const QueryAnswer merged = MergeShardAvg({a, b});
+  const double sum = 180.0;
+  const double count = 90.0;
+  const double ratio = sum / count;
+  EXPECT_DOUBLE_EQ(merged.estimate.value, ratio);
+  const double expected_var =
+      (16.0 + 9.0 - 2.0 * ratio * (6.0 + 2.0) +
+       ratio * ratio * (4.0 + 1.0)) /
+      (count * count);
+  EXPECT_NEAR(merged.estimate.variance, expected_var, 1e-12);
+  // AVG bounds: union of per-shard AVG ranges.
+  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.hard_lb, 1.0);
+  EXPECT_DOUBLE_EQ(*merged.hard_ub, 3.0);
+}
+
+TEST(AnswerMerge, AvgDropsOutOfRangeCovarianceRecovery) {
+  // A shard whose AVG variance is inconsistent with its SUM/COUNT
+  // variances (frontier mismatch): the solved covariance lands outside
+  // |cov| <= sqrt(var_s * var_c) and must be dropped, not clamped.
+  AvgShardParts bad = MakeAvgParts(100.0, 16.0, 50.0, 1.0, 0.0, 1.5, 2.5);
+  bad.avg.estimate.variance = 0.0;  // implies cov = 5 > sqrt(16 * 1) = 4
+  const QueryAnswer merged = MergeShardAvg({bad});
+  const double ratio = 2.0;
+  // cov = 0 -> plain delta method without the cross term.
+  const double expected_var =
+      (16.0 + ratio * ratio * 1.0) / (50.0 * 50.0);
+  EXPECT_NEAR(merged.estimate.variance, expected_var, 1e-12);
+}
+
+TEST(AnswerMerge, AvgWithNoCountFallsBackToBoundsMidpoint) {
+  AvgShardParts p;
+  p.avg = IntersectingNoEvidence(2.0, 6.0);
+  p.sum = IntersectingNoEvidence(0.0, 0.0);
+  p.sum.estimate = {0.0, 0.0};
+  p.count = p.sum;
+  const QueryAnswer merged = MergeShardAvg({p});
+  EXPECT_DOUBLE_EQ(merged.estimate.value, 4.0);  // midpoint of [2, 6]
+  EXPECT_GT(merged.estimate.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace pass

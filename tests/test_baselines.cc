@@ -9,12 +9,17 @@
 #include "core/exact.h"
 #include "data/generators.h"
 #include "data/workload.h"
+#include "tests/statistical_test_util.h"
 #include "tests/test_util.h"
 
 namespace pass {
 namespace {
 
+using testing::ExpectCoverageAtLeast;
+using testing::ExpectUnbiased;
+using testing::ExpectVarianceSane;
 using testing::RangeQueryOnDim;
+using testing::RunEstimatorTrials;
 
 // ---------------------------------------------------------------------------
 // Uniform sampling
@@ -37,18 +42,17 @@ TEST(UniformSampling, FullRateIsExactForSumAndCount) {
   EXPECT_NEAR(answer.estimate.variance, 0.0, 1e-9);
 }
 
-TEST(UniformSampling, UnbiasedAcrossSeeds) {
+TEST(UniformSampling, UnbiasedWithNominalCoverage) {
   const Dataset data = MakeUniform(20000, 74, 3.0, 9.0);
   const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 0.1, 0.4);
   const ExactResult truth = ExactAnswer(data, q);
-  double acc = 0.0;
-  const int trials = 40;
-  for (int t = 0; t < trials; ++t) {
-    const UniformSamplingSystem us(data, 0.02,
-                                   static_cast<uint64_t>(t) * 101 + 5);
-    acc += us.Answer(q).estimate.value;
-  }
-  EXPECT_NEAR(acc / trials / truth.value, 1.0, 0.02);
+  const testing::TrialStats stats = RunEstimatorTrials(
+      60, /*base_seed=*/505, truth.value, kLambda95, [&](uint64_t seed) {
+        return UniformSamplingSystem(data, 0.02, seed).Answer(q).estimate;
+      });
+  ExpectUnbiased(stats, 0.02);
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectVarianceSane(stats);
 }
 
 TEST(UniformSampling, AvgModesBothReasonable) {
@@ -99,18 +103,19 @@ TEST(StratifiedSampling, BuildsRequestedStrata) {
   EXPECT_EQ(st.NumStrata(), 16u);
 }
 
-TEST(StratifiedSampling, UnbiasedAcrossSeeds) {
+TEST(StratifiedSampling, UnbiasedWithNominalCoverage) {
   const Dataset data = MakeIntelLike(20000, 85);
   const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
   const ExactResult truth = ExactAnswer(data, q);
-  double acc = 0.0;
-  const int trials = 40;
-  for (int t = 0; t < trials; ++t) {
-    const StratifiedSamplingSystem st(data, 16, 0.02, 0,
-                                      static_cast<uint64_t>(t) * 17 + 3);
-    acc += st.Answer(q).estimate.value;
-  }
-  EXPECT_NEAR(acc / trials / truth.value, 1.0, 0.03);
+  const testing::TrialStats stats = RunEstimatorTrials(
+      60, /*base_seed=*/303, truth.value, kLambda95, [&](uint64_t seed) {
+        return StratifiedSamplingSystem(data, 16, 0.02, 0, seed)
+            .Answer(q)
+            .estimate;
+      });
+  ExpectUnbiased(stats, 0.03);
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectVarianceSane(stats);
 }
 
 TEST(StratifiedSampling, BeatsUniformOnStratifiedData) {

@@ -16,7 +16,8 @@ namespace {
 
 const std::vector<std::string>& BuiltinNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
-      "agg_uniform", "exact", "pass", "spn", "stratified", "uniform"};
+      "agg_uniform", "ensemble",   "exact",      "pass",
+      "sharded_pass", "spn",       "stratified", "uniform"};
   return *names;
 }
 
@@ -94,6 +95,34 @@ TEST(EngineRegistry, OutOfRangeDimIsRejected) {
     ASSERT_FALSE(engine.ok()) << name;
     EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument) << name;
   }
+}
+
+TEST(EngineRegistry, ShardedPassHonorsShardCount) {
+  const Dataset data = SmokeData();
+  EngineConfig config;
+  config.sample_rate = 0.05;
+  config.partitions = 16;
+  config.num_shards = 4;
+  auto engine = EngineRegistry::Global().Create("sharded_pass", data, config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_NE((*engine)->Name().find("4x"), std::string::npos)
+      << (*engine)->Name();
+
+  config.num_shards = 0;
+  auto bad = EngineRegistry::Global().Create("sharded_pass", data, config);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineRegistry, EnsembleRejectsOutOfRangeTemplateDim) {
+  const Dataset data = SmokeData();  // 1 predicate dimension
+  EngineConfig config;
+  config.sample_rate = 0.05;
+  config.partitions = 16;
+  config.ensemble_templates = {{0}, {3}};
+  auto engine = EngineRegistry::Global().Create("ensemble", data, config);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(EngineRegistry, EmptyDatasetIsRejected) {

@@ -1,0 +1,147 @@
+#include "shard/shard_planner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace pass {
+namespace {
+
+/// Every row appears in exactly one shard.
+void ExpectPartition(const ShardPlan& plan, size_t num_rows) {
+  std::vector<int> seen(num_rows, 0);
+  for (const auto& shard : plan) {
+    for (const uint32_t row : shard) {
+      ASSERT_LT(row, num_rows);
+      ++seen[row];
+    }
+  }
+  for (size_t row = 0; row < num_rows; ++row) {
+    EXPECT_EQ(seen[row], 1) << "row " << row;
+  }
+}
+
+TEST(ShardPlanner, RoundRobinBalancesAndPartitions) {
+  const Dataset data = MakeUniform(1003, 21);
+  ShardOptions options;
+  options.num_shards = 4;
+  const auto plan = ShardPlanner(options).Plan(data);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 4u);
+  ExpectPartition(*plan, data.NumRows());
+  for (const auto& shard : *plan) {
+    EXPECT_GE(shard.size(), 250u);
+    EXPECT_LE(shard.size(), 251u);
+  }
+}
+
+TEST(ShardPlanner, RoundRobinSingleShardKeepsRowOrder) {
+  const Dataset data = MakeUniform(200, 22);
+  ShardOptions options;
+  options.num_shards = 1;
+  const auto plan = ShardPlanner(options).Plan(data);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 1u);
+  for (size_t i = 0; i < (*plan)[0].size(); ++i) {
+    EXPECT_EQ((*plan)[0][i], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(ShardPlanner, RangeShardsAreContiguousInSortedOrder) {
+  const Dataset data = MakeIntelLike(5000, 23);
+  ShardOptions options;
+  options.num_shards = 5;
+  options.strategy = ShardStrategy::kRangeOnDim;
+  options.dim = 0;
+  const auto plan = ShardPlanner(options).Plan(data);
+  ASSERT_TRUE(plan.ok());
+  ExpectPartition(*plan, data.NumRows());
+  // Successive shards hold successive value ranges: every value in shard s
+  // is <= every value in shard s+1.
+  for (size_t s = 0; s + 1 < plan->size(); ++s) {
+    double max_here = -1e300;
+    double min_next = 1e300;
+    for (const uint32_t row : (*plan)[s]) {
+      max_here = std::max(max_here, data.pred(0, row));
+    }
+    for (const uint32_t row : (*plan)[s + 1]) {
+      min_next = std::min(min_next, data.pred(0, row));
+    }
+    EXPECT_LE(max_here, min_next) << "shard " << s;
+  }
+}
+
+TEST(ShardPlanner, HashIsDeterministicAndValueStable) {
+  const Dataset data = MakeInstacartLike(4000, 24);
+  ShardOptions options;
+  options.num_shards = 8;
+  options.strategy = ShardStrategy::kHash;
+  const auto plan_a = ShardPlanner(options).Plan(data);
+  const auto plan_b = ShardPlanner(options).Plan(data);
+  ASSERT_TRUE(plan_a.ok() && plan_b.ok());
+  EXPECT_EQ(*plan_a, *plan_b);
+  ExpectPartition(*plan_a, data.NumRows());
+  // Content-addressed: equal key values always land on the same shard.
+  std::vector<int> shard_of_row(data.NumRows(), -1);
+  for (size_t s = 0; s < plan_a->size(); ++s) {
+    for (const uint32_t row : (*plan_a)[s]) {
+      shard_of_row[row] = static_cast<int>(s);
+    }
+  }
+  for (size_t a = 0; a < 500; ++a) {
+    for (size_t b = a + 1; b < 501; ++b) {
+      if (data.pred(0, a) == data.pred(0, b)) {
+        EXPECT_EQ(shard_of_row[a], shard_of_row[b]);
+      }
+    }
+  }
+}
+
+TEST(ShardPlanner, SplitMaterializesShardViews) {
+  const Dataset data = MakeUniform(100, 25, 5.0, 6.0);
+  ShardOptions options;
+  options.num_shards = 3;
+  const auto shards = ShardPlanner(options).Split(data);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 3u);
+  size_t total = 0;
+  for (const Dataset& shard : *shards) {
+    total += shard.NumRows();
+    EXPECT_EQ(shard.NumPredDims(), data.NumPredDims());
+  }
+  EXPECT_EQ(total, data.NumRows());
+  // Round-robin: shard 1's first row is the dataset's row 1.
+  EXPECT_EQ((*shards)[1].agg(0), data.agg(1));
+  EXPECT_EQ((*shards)[1].pred(0, 0), data.pred(0, 1));
+}
+
+TEST(ShardPlanner, MoreShardsThanRowsLeavesEmptyShards) {
+  const Dataset data = MakeUniform(3, 26);
+  ShardOptions options;
+  options.num_shards = 5;
+  const auto plan = ShardPlanner(options).Plan(data);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 5u);
+  ExpectPartition(*plan, data.NumRows());
+  EXPECT_TRUE((*plan)[3].empty());
+  EXPECT_TRUE((*plan)[4].empty());
+}
+
+TEST(ShardPlanner, RejectsBadOptions) {
+  const Dataset data = MakeUniform(100, 27);
+  ShardOptions zero;
+  zero.num_shards = 0;
+  EXPECT_EQ(ShardPlanner(zero).Plan(data).status().code(),
+            StatusCode::kInvalidArgument);
+  ShardOptions bad_dim;
+  bad_dim.strategy = ShardStrategy::kRangeOnDim;
+  bad_dim.dim = 7;  // dataset has 1 predicate dim
+  EXPECT_EQ(ShardPlanner(bad_dim).Plan(data).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pass

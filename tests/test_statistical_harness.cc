@@ -1,0 +1,175 @@
+/// The repetition-heavy acceptance suite (ctest label: statistical): every
+/// estimator served through the registry must produce confidence intervals
+/// with >= 90% empirical coverage at the 95% nominal level, unbiased mean
+/// estimates, and variance estimates consistent with the across-trial
+/// spread — including the sharded engine, whose merged intervals are the
+/// whole point of the answer-merge algebra. All seeds are fixed, so each
+/// run is deterministic.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "data/generators.h"
+#include "engine/engine_registry.h"
+#include "tests/statistical_test_util.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::ExpectCoverageAtLeast;
+using testing::ExpectUnbiased;
+using testing::ExpectVarianceSane;
+using testing::RangeQueryOnDim;
+using testing::RunEstimatorTrials;
+using testing::TrialStats;
+
+// ---------------------------------------------------------------------------
+// Harness self-tests: the assertions must accept a well-calibrated
+// estimator and measurably reject a broken one.
+// ---------------------------------------------------------------------------
+
+/// Synthetic estimator: truth + noise * N(0,1), reporting `claimed` as its
+/// variance. Calibrated when claimed == noise^2.
+TrialStats SyntheticTrials(double noise, double claimed) {
+  constexpr double kTruth = 1000.0;
+  return RunEstimatorTrials(
+      200, /*base_seed=*/777, kTruth, kLambda95, [&](uint64_t seed) {
+        Rng rng(seed);
+        return Estimate{kTruth + noise * rng.Normal(), claimed};
+      });
+}
+
+TEST(StatisticalHarness, AcceptsCalibratedEstimator) {
+  const TrialStats stats = SyntheticTrials(25.0, 25.0 * 25.0);
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.01);
+  ExpectVarianceSane(stats, 0.5, 2.0);
+}
+
+TEST(StatisticalHarness, DetectsOverconfidentVariance) {
+  // Variance under-reported 25x: CIs shrink 5x, coverage collapses.
+  const TrialStats stats = SyntheticTrials(25.0, 25.0);
+  EXPECT_LT(stats.coverage, 0.6);
+  EXPECT_LT(stats.mean_reported_variance / stats.empirical_variance, 0.2);
+}
+
+TEST(StatisticalHarness, DetectsBias) {
+  constexpr double kTruth = 1000.0;
+  const TrialStats stats = RunEstimatorTrials(
+      200, /*base_seed=*/778, kTruth, kLambda95, [&](uint64_t seed) {
+        Rng rng(seed);
+        return Estimate{1.5 * kTruth + rng.Normal(), 1.0};
+      });
+  EXPECT_GT(stats.mean_estimate, 1.4 * kTruth);  // the drift is visible
+  EXPECT_LT(stats.coverage, 0.1);                // and the CIs miss
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide coverage acceptance
+// ---------------------------------------------------------------------------
+
+struct EngineCase {
+  std::string name;
+  size_t num_shards = 1;
+};
+
+class EngineCoverage : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineCoverage, SumCiCoverageAtLeast90Percent) {
+  const EngineCase& param = GetParam();
+  const Dataset data = MakeIntelLike(20000, 131);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const TrialStats stats = RunEstimatorTrials(
+      50, /*base_seed=*/132, truth.value, kLambda95, [&](uint64_t seed) {
+        EngineConfig config;
+        config.sample_rate = 0.05;
+        config.partitions = 16;
+        config.strategy = PartitionStrategy::kEqualDepth;
+        config.num_shards = param.num_shards;
+        config.seed = seed;
+        auto engine =
+            EngineRegistry::Global().Create(param.name, data, config);
+        PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+        return (*engine)->Answer(q).estimate;
+      });
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.05);
+  ExpectVarianceSane(stats, 0.2, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EngineCoverage,
+    ::testing::Values(EngineCase{"uniform"}, EngineCase{"stratified"},
+                      EngineCase{"pass"}, EngineCase{"ensemble"},
+                      EngineCase{"sharded_pass", 2},
+                      EngineCase{"sharded_pass", 4}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name +
+             (info.param.num_shards > 1
+                  ? "_k" + std::to_string(info.param.num_shards)
+                  : "");
+    });
+
+// The merged AVG interval (ratio over merged SUM/COUNT with recovered
+// within-shard covariance) must also hold its nominal coverage.
+TEST(ShardedStatistical, AvgCiCoverageAtLeast90Percent) {
+  const Dataset data = MakeIntelLike(20000, 133);
+  const Query q = RangeQueryOnDim(AggregateType::kAvg, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const TrialStats stats = RunEstimatorTrials(
+      50, /*base_seed=*/134, truth.value, kLambda95, [&](uint64_t seed) {
+        EngineConfig config;
+        config.sample_rate = 0.05;
+        config.partitions = 16;
+        config.strategy = PartitionStrategy::kEqualDepth;
+        config.num_shards = 4;
+        config.seed = seed;
+        auto engine =
+            EngineRegistry::Global().Create("sharded_pass", data, config);
+        PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+        return (*engine)->Answer(q).estimate;
+      });
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.05);
+}
+
+// COUNT merges across range shards, where whole shards drop out of the
+// frontier: the additive variance must still cover.
+TEST(ShardedStatistical, RangeShardedCountCoverage) {
+  const Dataset data = MakeIntelLike(20000, 135);
+  const Query q =
+      RangeQueryOnDim(AggregateType::kCount, 1, 0, 2500.0, 9800.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const TrialStats stats = RunEstimatorTrials(
+      50, /*base_seed=*/136, truth.value, kLambda95, [&](uint64_t seed) {
+        EngineConfig config;
+        config.sample_rate = 0.05;
+        config.partitions = 16;
+        config.strategy = PartitionStrategy::kEqualDepth;
+        config.num_shards = 4;
+        config.shard_strategy = ShardStrategy::kRangeOnDim;
+        config.seed = seed;
+        auto engine =
+            EngineRegistry::Global().Create("sharded_pass", data, config);
+        PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+        return (*engine)->Answer(q).estimate;
+      });
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.05);
+}
+
+}  // namespace
+}  // namespace pass

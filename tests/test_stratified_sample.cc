@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "core/estimator.h"
+#include "stats/sampling.h"
+#include "tests/statistical_test_util.h"
+
 namespace pass {
 namespace {
 
@@ -69,6 +74,43 @@ TEST(StratifiedSample, EmptyScan) {
   StratifiedSample s(1);
   const auto r = s.Scan(Rect::All(1));
   EXPECT_EQ(r.matched, 0u);
+}
+
+// The statistical contract behind every leaf sample: scanning a uniform
+// without-replacement subsample and expanding it with EstimateStratumSum
+// is unbiased for the stratum SUM, with a variance good for nominal CLT
+// coverage. Exercised through the statistical harness on a fixed
+// heavy-ish-tailed population.
+TEST(StratifiedSample, StratumSumEstimatorIsUnbiasedWithCoverage) {
+  constexpr size_t kPopulation = 4000;
+  constexpr size_t kSampleSize = 250;
+  Rng pop_rng(4242);
+  std::vector<double> values(kPopulation);
+  double truth = 0.0;
+  for (double& v : values) {
+    v = pop_rng.LogNormal(1.0, 0.75);
+    truth += v;
+  }
+
+  const testing::TrialStats stats = testing::RunEstimatorTrials(
+      80, /*base_seed=*/9001, truth, kLambda95, [&](uint64_t seed) {
+        Rng rng(seed);
+        const std::vector<size_t> rows =
+            SampleWithoutReplacement(kPopulation, kSampleSize, &rng);
+        StratifiedSample sample(1);
+        for (const size_t row : rows) {
+          sample.AddRow({static_cast<double>(row)}, values[row]);
+        }
+        const auto scan = sample.Scan(Rect::All(1));
+        const StratumEstimate est = EstimateStratumSum(
+            static_cast<double>(kPopulation),
+            static_cast<double>(sample.size()), scan.sum, scan.sum_sq,
+            /*use_fpc=*/true);
+        return Estimate{est.value, est.variance};
+      });
+  testing::ExpectUnbiased(stats, 0.02);
+  testing::ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  testing::ExpectVarianceSane(stats, 0.5, 2.0);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include <gtest/gtest.h>
+
 #include "core/query.h"
 #include "core/synopsis.h"
 #include "partition/builder.h"
@@ -27,6 +29,31 @@ inline Query RangeQueryOnDim(AggregateType agg, size_t num_dims, size_t dim,
   q.predicate = Rect::All(num_dims);
   q.predicate.dim(dim) = Interval{lo, hi};
   return q;
+}
+
+/// Asserts two QueryAnswers are bit-for-bit identical in every field —
+/// the contract behind the K=1 sharding property and the sequential-vs-
+/// parallel serving regressions (EXPECT_EQ on doubles is exact equality).
+inline void ExpectAnswersBitIdentical(const QueryAnswer& a,
+                                      const QueryAnswer& b) {
+  EXPECT_EQ(a.estimate.value, b.estimate.value);
+  EXPECT_EQ(a.estimate.variance, b.estimate.variance);
+  EXPECT_EQ(a.hard_lb.has_value(), b.hard_lb.has_value());
+  EXPECT_EQ(a.hard_ub.has_value(), b.hard_ub.has_value());
+  if (a.hard_lb && b.hard_lb) {
+    EXPECT_EQ(*a.hard_lb, *b.hard_lb);
+  }
+  if (a.hard_ub && b.hard_ub) {
+    EXPECT_EQ(*a.hard_ub, *b.hard_ub);
+  }
+  EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.population_rows, b.population_rows);
+  EXPECT_EQ(a.population_rows_skipped, b.population_rows_skipped);
+  EXPECT_EQ(a.sample_rows_scanned, b.sample_rows_scanned);
+  EXPECT_EQ(a.matched_sample_rows, b.matched_sample_rows);
+  EXPECT_EQ(a.covered_nodes, b.covered_nodes);
+  EXPECT_EQ(a.partial_leaves, b.partial_leaves);
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
 }
 
 }  // namespace testing
