@@ -11,12 +11,15 @@
 
 #include <cstdio>
 #include <functional>
+#include <future>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
+#include "engine/query_scheduler.h"
 #include "stats/quantile.h"
 
 namespace pass::bench {
@@ -214,6 +217,76 @@ int main() {
   std::printf("\nsharded_pass shard-count sweep:\n");
   shard_table.Print();
 
+  // Async concurrent-client sweep: N client threads multiplex one shared
+  // QueryScheduler over a sharded engine (per-shard fan-out nested
+  // underneath), so the artifact tracks how serving throughput scales with
+  // client concurrency — and doubles as a deadlock canary for the
+  // two-level pool handoff at K in {2, 4}. Per-client work is fixed, so
+  // total work grows with the client count and qps measures multiplexing,
+  // not batching.
+  TablePrinter async_table(
+      {"clients", "shards", "p50_ms", "p95_ms", "qps", "threads"});
+  {
+    QueryScheduler& scheduler = QueryScheduler::Shared(/*num_threads=*/0);
+    const size_t per_client = std::max<size_t>(NumQueries() / 8, 16);
+    for (const size_t k : {size_t{2}, size_t{4}}) {
+      EngineConfig shard_config = config;
+      shard_config.num_shards = k;
+      const std::unique_ptr<AqpSystem> engine =
+          MustMakeEngine("sharded_pass", data, shard_config);
+      for (const size_t clients : {size_t{1}, size_t{8}, size_t{64}}) {
+        std::vector<std::vector<double>> client_run_ms(clients);
+        Stopwatch wall;
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (size_t c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            std::vector<std::future<ScheduledAnswer>> futures;
+            futures.reserve(per_client);
+            for (size_t i = 0; i < per_client; ++i) {
+              futures.push_back(scheduler.Submit(
+                  *engine, queries[(c + i) % queries.size()]));
+            }
+            for (auto& f : futures) {
+              ScheduledAnswer answer = f.get();
+              PASS_CHECK_MSG(answer.status.ok(),
+                             answer.status.ToString().c_str());
+              client_run_ms[c].push_back(answer.run_ms);
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_ms = wall.ElapsedMillis();
+
+        std::vector<double> run_ms;
+        for (const auto& per : client_run_ms) {
+          run_ms.insert(run_ms.end(), per.begin(), per.end());
+        }
+        MethodRow row;
+        char method[48];
+        std::snprintf(method, sizeof(method), "async_sweep_c%zu_k%zu",
+                      clients, k);
+        row.method = method;
+        row.p50_latency_ms = Quantile(run_ms, 0.5);
+        row.p95_latency_ms = Quantile(run_ms, 0.95);
+        row.qps_parallel =
+            wall_ms > 0.0
+                ? static_cast<double>(run_ms.size()) / (wall_ms / 1e3)
+                : 0.0;
+        row.parallel_threads = scheduler.num_threads();
+        rows.push_back(row);
+
+        async_table.AddRow({std::to_string(clients), std::to_string(k),
+                            FormatDouble(row.p50_latency_ms, 4),
+                            FormatDouble(row.p95_latency_ms, 4),
+                            FormatDouble(row.qps_parallel, 6),
+                            std::to_string(row.parallel_threads)});
+      }
+    }
+  }
+  std::printf("\nasync concurrent-client sweep (QueryScheduler):\n");
+  async_table.Print();
+
   const size_t num_engines = rows.size();
 
   // Kernel timings backing the paper's complexity claims: the MCF index
@@ -275,8 +348,8 @@ int main() {
   const std::string path = JsonPath();
   WriteJson(path, rows);
   std::printf(
-      "\nwrote %s (%zu engines + %zu kernels, %zu queries, %zu threads in "
-      "pool)\n",
+      "\nwrote %s (%zu serving rows + %zu kernels, %zu queries, %zu threads "
+      "in pool)\n",
       path.c_str(), num_engines, rows.size() - num_engines, queries.size(),
       parallel.num_threads());
   return 0;

@@ -4,21 +4,28 @@
 /// variances, combined hard bounds, and bit-identical answers between the
 /// sequential and parallel per-shard paths.
 ///
+/// The workload is served through the QueryScheduler (submit all futures,
+/// wait all), so the sweep exercises the same async core a server
+/// front-end uses, nested over the per-shard fan-out pool.
+///
 /// Usage: sharded_serving [rows] [queries] [max_shards]
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/parse.h"
+#include "common/stopwatch.h"
 #include "data/generators.h"
 #include "data/workload.h"
 #include "engine/batch_executor.h"
 #include "engine/engine_registry.h"
+#include "engine/query_scheduler.h"
 #include "harness/metrics.h"
 #include "harness/table_printer.h"
 #include "shard/sharded_synopsis.h"
@@ -59,15 +66,16 @@ int main(int argc, char** argv) {
   EngineConfig config;
   config.sample_rate = 0.005;
   config.partitions = 64;
-  const BatchExecutor executor(/*num_threads=*/0);
+  QueryScheduler& scheduler = QueryScheduler::Shared(/*num_threads=*/0);
 
   std::printf(
       "sharding %zu rows, serving %zu queries per shard count "
-      "(%zu batch threads, %zu shard threads)\n\n",
-      data.NumRows(), queries.size(), executor.num_threads(),
+      "(%zu scheduler threads, %zu shard threads)\n\n",
+      data.NumRows(), queries.size(), scheduler.num_threads(),
       ParallelShardExecutor::Shared().num_threads());
 
-  // 1) The sweep: same budget, more shards.
+  // 1) The sweep: same budget, more shards, served asynchronously —
+  //    submit every query as a future, then wait on them all.
   TablePrinter table({"shards", "build_s", "p50_ms", "p95_ms",
                       "median_rel_err", "batch_qps"});
   for (size_t k = 1; k <= max_shards; k *= 2) {
@@ -79,7 +87,27 @@ int main(int argc, char** argv) {
                    engine.status().ToString().c_str());
       return 1;
     }
-    const BatchResult batch = executor.Run(**engine, queries);
+    BatchResult batch;
+    batch.num_threads = scheduler.num_threads();
+    batch.answers.resize(queries.size());
+    batch.latency_ms.resize(queries.size());
+    std::vector<std::future<ScheduledAnswer>> futures;
+    futures.reserve(queries.size());
+    Stopwatch wall;
+    for (const Query& q : queries) {
+      futures.push_back(scheduler.Submit(**engine, q));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      ScheduledAnswer answer = futures[i].get();
+      if (!answer.status.ok()) {
+        std::fprintf(stderr, "query %zu: %s\n", i,
+                     answer.status.ToString().c_str());
+        return 1;
+      }
+      batch.answers[i] = answer.answer;
+      batch.latency_ms[i] = answer.run_ms;
+    }
+    batch.wall_ms = wall.ElapsedMillis();
     const BatchErrorSummary err = BatchExecutor::Score(batch, truths);
     table.AddRow({std::to_string(k),
                   FormatDouble((*engine)->Costs().build_seconds, 3),

@@ -19,6 +19,10 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,8 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Lightweight status object (no exceptions on hot paths). Mirrors the
@@ -49,6 +51,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

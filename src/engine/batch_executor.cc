@@ -1,11 +1,10 @@
 #include "engine/batch_executor.h"
 
-#include <cmath>
-#include <condition_variable>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/stopwatch.h"
@@ -13,7 +12,8 @@
 
 namespace pass {
 
-BatchExecutor::BatchExecutor(size_t num_threads) : pool_(num_threads) {}
+BatchExecutor::BatchExecutor(size_t num_threads)
+    : scheduler_(SchedulerOptions{num_threads, /*max_in_flight=*/0}) {}
 
 BatchExecutor& BatchExecutor::Shared(size_t num_threads) {
   // Normalize before keying the cache so Shared(0) and an explicit
@@ -33,32 +33,27 @@ BatchExecutor& BatchExecutor::Shared(size_t num_threads) {
 BatchResult BatchExecutor::Run(const AqpSystem& system,
                                const std::vector<Query>& queries) const {
   BatchResult result;
-  result.num_threads = pool_.num_threads();
+  result.num_threads = scheduler_.num_threads();
   result.answers.resize(queries.size());
   result.latency_ms.resize(queries.size());
 
-  // Per-batch completion latch (not ThreadPool::Wait): concurrent Run()
-  // calls on one executor interleave tasks in the shared pool, and each
-  // call must only wait for — and time — its own batch.
-  struct Latch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining;
-  } latch{{}, {}, queries.size()};
-
+  // Submit all, wait all: the scheduler is the only execution path, and
+  // waiting on this batch's own futures (not a pool-wide barrier) keeps
+  // concurrent Run() calls on one executor independent.
+  std::vector<std::future<ScheduledAnswer>> futures;
+  futures.reserve(queries.size());
   Stopwatch batch_timer;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    pool_.Submit([&system, &queries, &result, &latch, i] {
-      Stopwatch query_timer;
-      result.answers[i] = system.Answer(queries[i]);
-      result.latency_ms[i] = query_timer.ElapsedMillis();
-      std::lock_guard<std::mutex> lock(latch.mu);
-      if (--latch.remaining == 0) latch.done.notify_all();
-    });
+  for (const Query& query : queries) {
+    futures.push_back(scheduler_.Submit(system, query));
   }
-  {
-    std::unique_lock<std::mutex> lock(latch.mu);
-    latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ScheduledAnswer scheduled = futures[i].get();
+    // No deadline was set and this executor outlives the batch, so the
+    // scheduler can only have resolved with an answer.
+    PASS_CHECK_MSG(scheduled.status.ok(),
+                   scheduled.status.ToString().c_str());
+    result.answers[i] = std::move(scheduled.answer);
+    result.latency_ms[i] = scheduled.run_ms;
   }
   result.wall_ms = batch_timer.ElapsedMillis();
   return result;

@@ -7,7 +7,7 @@
 #include "core/aqp_system.h"
 #include "core/exact.h"
 #include "core/query.h"
-#include "engine/thread_pool.h"
+#include "engine/query_scheduler.h"
 
 namespace pass {
 
@@ -17,7 +17,7 @@ namespace pass {
 /// this repository is const and deterministic).
 struct BatchResult {
   std::vector<QueryAnswer> answers;
-  std::vector<double> latency_ms;  // per-query wall time
+  std::vector<double> latency_ms;  // per-query wall time (the Answer call)
   double wall_ms = 0.0;            // whole-batch wall time
   size_t num_threads = 1;
 
@@ -36,9 +36,12 @@ struct BatchErrorSummary {
   double p95_rel_error = 0.0;
 };
 
-/// Answers query batches across a fixed-size thread pool. The pool is
-/// owned by the executor and reused across batches (capacity is a
-/// deployment decision, not a per-batch one).
+/// The synchronous convenience face of the serving layer: a thin wrapper
+/// over QueryScheduler that submits a whole batch and waits for every
+/// future. It owns no execution loop of its own — the scheduler is the
+/// single execution path, so batch answers and async answers are the same
+/// bits by construction. Kept because closed batches (the harness, the
+/// paper benches) want exactly this submit-all/wait-all shape.
 class BatchExecutor {
  public:
   /// `num_threads` = 0 means std::thread::hardware_concurrency.
@@ -50,12 +53,18 @@ class BatchExecutor {
   /// joining a fresh pool per call. Thread-safe.
   static BatchExecutor& Shared(size_t num_threads = 0);
 
-  size_t num_threads() const { return pool_.num_threads(); }
+  size_t num_threads() const { return scheduler_.num_threads(); }
+
+  /// The scheduler this executor wraps, for callers that want to mix
+  /// batch and async submissions on one pool. The executor owns its
+  /// lifecycle: do not Drain-and-Shutdown a wrapped scheduler — Run on a
+  /// shut-down scheduler is a contract violation and fail-fast aborts.
+  QueryScheduler& scheduler() const { return scheduler_; }
 
   /// Answers every query; answers[i] corresponds to queries[i]. Safe to
   /// call concurrently from multiple threads on one executor: batches
-  /// share the pool's workers but each call waits on (and times) only its
-  /// own queries.
+  /// share the scheduler's workers but each call waits on (and times) only
+  /// its own futures.
   BatchResult Run(const AqpSystem& system,
                   const std::vector<Query>& queries) const;
 
@@ -64,7 +73,7 @@ class BatchExecutor {
                                  const std::vector<ExactResult>& truths);
 
  private:
-  mutable ThreadPool pool_;
+  mutable QueryScheduler scheduler_;
 };
 
 /// Latency quantile over a batch, in milliseconds. q in [0, 1].

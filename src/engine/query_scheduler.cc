@@ -1,0 +1,175 @@
+#include "engine/query_scheduler.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace pass {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MillisBetween(SteadyClock::time_point from, SteadyClock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+/// One admitted submission. Heap-allocated and owned by the pool closure:
+/// the submitting thread may abandon its future (or passed only a
+/// callback), so the task cannot live on the submitter's stack the way
+/// BatchExecutor's old per-batch latch state did.
+struct QueryScheduler::Task {
+  const AqpSystem* system = nullptr;
+  Query query;
+  uint64_t ticket = 0;
+  SteadyClock::time_point admitted;
+  std::optional<SteadyClock::time_point> deadline;
+  bool want_future = false;
+  std::promise<ScheduledAnswer> promise;
+  Callback done;
+};
+
+QueryScheduler::QueryScheduler(const SchedulerOptions& options)
+    : max_in_flight_(options.max_in_flight), pool_(options.num_threads) {}
+
+QueryScheduler::QueryScheduler(size_t num_threads)
+    : QueryScheduler(SchedulerOptions{num_threads, /*max_in_flight=*/0}) {}
+
+QueryScheduler::~QueryScheduler() { Shutdown(); }
+
+QueryScheduler& QueryScheduler::Shared(size_t num_threads) {
+  // Normalize before keying the cache so Shared(0) and an explicit
+  // Shared(hardware_concurrency) share one pool.
+  num_threads = ThreadPool::ResolveNumThreads(num_threads);
+  static std::mutex* mu = new std::mutex();
+  static auto* schedulers =
+      new std::map<size_t, std::unique_ptr<QueryScheduler>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  std::unique_ptr<QueryScheduler>& scheduler = (*schedulers)[num_threads];
+  if (scheduler == nullptr) {
+    scheduler = std::make_unique<QueryScheduler>(num_threads);
+  }
+  return *scheduler;
+}
+
+size_t QueryScheduler::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+std::future<ScheduledAnswer> QueryScheduler::Submit(
+    const AqpSystem& system, Query query, const SubmitOptions& options) {
+  return SubmitInternal(system, std::move(query), options, /*done=*/nullptr,
+                        /*want_future=*/true);
+}
+
+void QueryScheduler::Submit(const AqpSystem& system, Query query,
+                            const SubmitOptions& options, Callback done) {
+  PASS_CHECK(done != nullptr);
+  (void)SubmitInternal(system, std::move(query), options, std::move(done),
+                       /*want_future=*/false);
+}
+
+std::future<ScheduledAnswer> QueryScheduler::SubmitInternal(
+    const AqpSystem& system, Query query, const SubmitOptions& options,
+    Callback done, bool want_future) {
+  auto task = std::make_unique<Task>();
+  task->system = &system;
+  task->query = std::move(query);
+  task->want_future = want_future;
+  task->done = std::move(done);
+  std::future<ScheduledAnswer> future;
+  if (want_future) future = task->promise.get_future();
+
+  bool rejected = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Backpressure: a bounded scheduler blocks the producer until a slot
+    // frees. Shutdown unblocks every waiting producer into rejection.
+    if (max_in_flight_ > 0) {
+      slot_free_.wait(lock, [this] {
+        return shutdown_ || in_flight_ < max_in_flight_;
+      });
+    }
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      task->ticket = ++next_ticket_;
+      task->admitted = SteadyClock::now();
+      if (options.deadline) {
+        task->deadline = task->admitted + *options.deadline;
+      }
+      ++in_flight_;
+    }
+  }
+
+  if (rejected) {
+    ScheduledAnswer result;
+    result.status =
+        Status::Unavailable("QueryScheduler is shut down; query rejected");
+    if (task->want_future) task->promise.set_value(result);
+    if (task->done) task->done(std::move(result));
+    return future;
+  }
+
+  Task* raw = task.release();
+  const bool accepted = pool_.Submit([this, raw] { RunTask(raw); });
+  // Admission is gated by shutdown_ above and Shutdown() drains before the
+  // pool ever stops, so the pool can never have refused the task.
+  PASS_CHECK(accepted);
+  return future;
+}
+
+void QueryScheduler::RunTask(Task* raw) {
+  std::unique_ptr<Task> task(raw);
+  const SteadyClock::time_point dispatched = SteadyClock::now();
+
+  ScheduledAnswer result;
+  result.ticket = task->ticket;
+  result.queue_ms = MillisBetween(task->admitted, dispatched);
+  if (task->deadline && dispatched > *task->deadline) {
+    // Expired while queued: the query is never run, so an overloaded
+    // scheduler sheds the work itself, not just the answer.
+    result.status = Status::DeadlineExceeded(
+        "deadline expired before the query was dispatched");
+  } else {
+    const SteadyClock::time_point started = SteadyClock::now();
+    result.answer = task->system->Answer(task->query);
+    result.run_ms = MillisBetween(started, SteadyClock::now());
+  }
+  result.total_ms = MillisBetween(task->admitted, SteadyClock::now());
+
+  if (task->want_future) task->promise.set_value(result);
+  if (task->done) task->done(std::move(result));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  // Wakes both backpressured producers and Drain()/Shutdown() waiters.
+  slot_free_.notify_all();
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_free_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void QueryScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  slot_free_.notify_all();  // release producers blocked on backpressure
+  // Always drain — even on a repeat call — so *every* caller returns only
+  // once in-flight work is done. Shutdown is the teardown fence callers
+  // rely on before destroying the engines they submitted, so a concurrent
+  // second caller must not return early while queries still run.
+  Drain();
+}
+
+}  // namespace pass

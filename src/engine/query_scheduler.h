@@ -1,0 +1,149 @@
+#ifndef PASS_ENGINE_QUERY_SCHEDULER_H_
+#define PASS_ENGINE_QUERY_SCHEDULER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <optional>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "core/aqp_system.h"
+#include "core/query.h"
+#include "engine/thread_pool.h"
+
+namespace pass {
+
+/// What the scheduler resolves a submission with. `answer` is meaningful
+/// iff `status.ok()`; otherwise the query was never run (it expired in the
+/// queue or was rejected at shutdown) and the timing fields describe only
+/// the time it spent waiting.
+struct ScheduledAnswer {
+  Status status;       // Ok | kDeadlineExceeded | kUnavailable
+  QueryAnswer answer;  // valid iff status.ok()
+
+  /// Monotonically increasing admission ticket. Every submission gets a
+  /// unique ticket under the admission lock, so any scheduler-level
+  /// randomization (none today) must derive its seed from the ticket —
+  /// never from thread identity or completion order — to keep the async
+  /// path bit-identical to the sequential one.
+  uint64_t ticket = 0;
+
+  double queue_ms = 0.0;  // admission -> a worker picked the task up
+  double run_ms = 0.0;    // the AqpSystem::Answer call alone
+  double total_ms = 0.0;  // admission -> resolution (queue + run)
+};
+
+/// Per-submission knobs.
+struct SubmitOptions {
+  /// Relative deadline, measured on the monotonic clock from the moment
+  /// Submit admits the query. The policy is *admission-to-dispatch*: when
+  /// a worker dequeues the task after the deadline has passed, the query
+  /// is never run and the future resolves with kDeadlineExceeded. A query
+  /// that starts before its deadline always runs to completion — answers
+  /// are never truncated mid-scan, so every delivered answer is
+  /// bit-identical to the synchronous path. nullopt = no deadline.
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+/// Construction-time capacity knobs.
+struct SchedulerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency.
+  size_t num_threads = 0;
+  /// Bounded in-flight queue: when this many submissions are admitted but
+  /// unresolved, Submit blocks (backpressure on the producer) until a slot
+  /// frees or the scheduler shuts down. 0 = unbounded — what the
+  /// BatchExecutor wrapper uses, since a closed batch is its own bound.
+  size_t max_in_flight = 0;
+};
+
+/// The asynchronous serving core: one pool multiplexing many clients.
+/// `Submit` hands a query to the pool and immediately returns a
+/// std::future (or invokes a completion callback from the worker thread),
+/// so a server front-end can keep thousands of requests in flight with
+/// per-request deadlines while the estimators below stay bit-identical to
+/// the sequential path — every AqpSystem::Answer in this repository is
+/// const and deterministic, the work units are index-free (each resolves
+/// its own promise), and per-query seeds are derived at build time, never
+/// from scheduling order.
+///
+/// Composition with the per-shard fan-out: sharded engines block inside
+/// Answer on the *separate* ParallelShardExecutor pool, so scheduler
+/// workers never wait on tasks queued behind themselves — the two-level
+/// handoff (scheduler pool -> shard pool) is deadlock-free by
+/// construction at any client count and shard count.
+///
+/// Lifetime: the AqpSystem reference passed to Submit must stay alive
+/// until that submission resolves (Drain()/Shutdown() are the fences
+/// callers use before tearing an engine down).
+class QueryScheduler {
+ public:
+  using Callback = std::function<void(ScheduledAnswer)>;
+
+  explicit QueryScheduler(const SchedulerOptions& options = {});
+  /// Convenience: a scheduler with `num_threads` workers, unbounded queue.
+  explicit QueryScheduler(size_t num_threads);
+  ~QueryScheduler();  // Shutdown()
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Process-wide scheduler for the given pool size, created on first use
+  /// and kept for the process lifetime (mirrors BatchExecutor::Shared).
+  /// Thread-safe.
+  static QueryScheduler& Shared(size_t num_threads = 0);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t max_in_flight() const { return max_in_flight_; }
+
+  /// Admitted-but-unresolved submissions right now (queued + running).
+  size_t InFlight() const;
+
+  /// Submits one query for asynchronous answering. Blocks only for
+  /// backpressure (bounded queue at capacity); otherwise returns
+  /// immediately. After Shutdown() the returned future is already
+  /// resolved with kUnavailable.
+  std::future<ScheduledAnswer> Submit(const AqpSystem& system, Query query,
+                                      const SubmitOptions& options = {});
+
+  /// Completion-callback overload: `done` runs on the worker thread that
+  /// resolved the submission (including rejection at shutdown, where it
+  /// runs on the submitting thread). The callback must not throw and must
+  /// not block on this scheduler's own pool.
+  void Submit(const AqpSystem& system, Query query,
+              const SubmitOptions& options, Callback done);
+
+  /// Blocks until every admitted submission has resolved. New submissions
+  /// are still accepted during and after a drain; with concurrent
+  /// producers this is a quiescence point, not an admission barrier.
+  void Drain();
+
+  /// Graceful shutdown: stops admission (subsequent Submits resolve with
+  /// kUnavailable), unblocks producers waiting on backpressure, runs every
+  /// already-admitted query to completion, and returns once the queue is
+  /// empty. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Task;
+
+  std::future<ScheduledAnswer> SubmitInternal(const AqpSystem& system,
+                                              Query query,
+                                              const SubmitOptions& options,
+                                              Callback done, bool want_future);
+  void RunTask(Task* task);
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;  // backpressure + drain wakeups
+  size_t in_flight_ = 0;
+  uint64_t next_ticket_ = 0;
+  bool shutdown_ = false;
+  const size_t max_in_flight_;
+  mutable ThreadPool pool_;  // declared last: joins before state above dies
+};
+
+}  // namespace pass
+
+#endif  // PASS_ENGINE_QUERY_SCHEDULER_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/macros.h"
+
 namespace pass {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -12,22 +14,41 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   task_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // join_mu_ serializes concurrent Shutdown callers: joining the same
+  // std::thread from two threads is UB, and an early-returning second
+  // caller would break the "joins every worker" contract while the first
+  // is still mid-join. The joinable() check makes repeat calls no-ops.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::IsShutdown() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Submitting into a shut-down pool is a caller bug (the contract in
+    // the header): loud in Debug, a defined rejection in Release.
+    PASS_DCHECK(!shutdown_ && "ThreadPool::Submit after Shutdown");
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

@@ -11,10 +11,19 @@
 
 namespace pass {
 
-/// Fixed-size worker pool behind the batch executor. Deliberately simple:
+/// Fixed-size worker pool behind the serving layers. Deliberately simple:
 /// a mutex-guarded FIFO is plenty for query-granularity tasks (each task
 /// scans a sample), and the fixed size is what serving layers want —
 /// the thread count is a capacity decision, not a per-batch one.
+///
+/// Shutdown contract: `Shutdown()` stops admission, runs every task that
+/// was already queued, and joins the workers (the destructor calls it).
+/// Submitting after shutdown has begun is a *defined* error, not UB: it
+/// asserts in Debug builds and rejects the task (`Submit` returns false,
+/// the task is destroyed unrun) in Release builds. Layers that need a
+/// graceful answer for late work — e.g. QueryScheduler resolving a future
+/// with an Unavailable status — must therefore gate their own admission
+/// before handing tasks to the pool.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency.
@@ -34,8 +43,11 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Tasks must not throw. Returns true if the task was
+  /// accepted; after Shutdown() it asserts in Debug and returns false in
+  /// Release (the task is destroyed without running — see the class
+  /// comment).
+  bool Submit(std::function<void()> task);
 
   /// Blocks until the pool is fully drained (every submitted task, from
   /// any submitter, has finished). With concurrent submitters this is a
@@ -43,10 +55,22 @@ class ThreadPool {
   /// uses its own per-batch latch for exactly that reason.
   void Wait();
 
+  /// Stops admission, drains the queue, and joins every worker. Idempotent
+  /// and callable exactly like the destructor (which invokes it). After
+  /// Shutdown returns, Submit rejects (see class comment) and Wait returns
+  /// immediately.
+  void Shutdown();
+
+  /// True once Shutdown() has begun. Advisory only — a false return can be
+  /// stale by the time the caller acts on it; the authoritative signal is
+  /// Submit's return value.
+  bool IsShutdown() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::mutex join_mu_;  // serializes concurrent Shutdown joins
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;

@@ -36,6 +36,9 @@ RunSummary EvaluateSystem(const AqpSystem& system,
   summary.num_queries = queries.size();
   summary.costs = system.Costs();
 
+  // One execution path: Run submits every query to the shared
+  // QueryScheduler and waits on the batch's own futures, so harness
+  // numbers and async serving answers are the same bits.
   const BatchResult batch =
       BatchExecutor::Shared(options.num_threads).Run(system, queries);
 

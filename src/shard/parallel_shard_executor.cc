@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "common/macros.h"
+
 namespace pass {
 
 ParallelShardExecutor::ParallelShardExecutor(size_t num_threads)
@@ -39,11 +41,15 @@ void ParallelShardExecutor::ForEachShard(
   } latch{{}, {}, num_shards};
 
   for (size_t i = 0; i < num_shards; ++i) {
-    pool_.Submit([&fn, &latch, i] {
+    const bool accepted = pool_.Submit([&fn, &latch, i] {
       fn(i);
       std::lock_guard<std::mutex> lock(latch.mu);
       if (--latch.remaining == 0) latch.done.notify_all();
     });
+    // A rejected task would leave the latch waiting forever; this
+    // executor never shuts its pool down while callers exist, so fail
+    // fast rather than hang if that invariant is ever broken.
+    PASS_CHECK(accepted);
   }
   std::unique_lock<std::mutex> lock(latch.mu);
   latch.done.wait(lock, [&latch] { return latch.remaining == 0; });

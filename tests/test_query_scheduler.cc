@@ -1,0 +1,467 @@
+/// The async serving core's contract: futures and callbacks deliver
+/// answers bit-for-bit identical to the synchronous path (for every
+/// registry engine, and for sharded engines whose per-shard fan-out nests
+/// under scheduler concurrency), deadlines shed queued work without ever
+/// truncating a running query, backpressure bounds the in-flight set, and
+/// Drain()/Shutdown() are graceful.
+
+#include "engine/query_scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/workload.h"
+#include "engine/batch_executor.h"
+#include "engine/engine_registry.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::ExpectAnswersBitIdentical;
+
+std::unique_ptr<AqpSystem> MakeEngine(const Dataset& data,
+                                      const std::string& name,
+                                      size_t num_shards = 1) {
+  EngineConfig config;
+  config.sample_rate = 0.02;
+  config.partitions = 16;
+  config.strategy = PartitionStrategy::kEqualDepth;
+  config.num_shards = num_shards;
+  config.seed = 42;
+  auto engine = EngineRegistry::Global().Create(name, data, config);
+  PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+  return std::move(engine).value();
+}
+
+std::vector<Query> MixedWorkload(const Dataset& data, size_t per_agg,
+                                 uint64_t seed) {
+  std::vector<Query> queries;
+  for (const AggregateType agg :
+       {AggregateType::kSum, AggregateType::kCount, AggregateType::kAvg,
+        AggregateType::kMin, AggregateType::kMax}) {
+    WorkloadOptions wl;
+    wl.agg = agg;
+    wl.count = per_agg;
+    wl.seed = seed + static_cast<uint64_t>(agg);
+    const auto batch = RandomRangeQueries(data, wl);
+    queries.insert(queries.end(), batch.begin(), batch.end());
+  }
+  return queries;
+}
+
+/// An AqpSystem whose Answer blocks until released — the only way to pin
+/// a query "running" or "queued" deterministically in a test.
+class BlockingSystem : public AqpSystem {
+ public:
+  QueryAnswer Answer(const Query&) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+    QueryAnswer answer;
+    answer.estimate.value = 1.0;
+    return answer;
+  }
+  std::string Name() const override { return "blocking"; }
+  SystemCosts Costs() const override { return {}; }
+
+  void WaitUntilRunning(size_t n) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this, n] { return entered_ >= n; });
+  }
+  /// Bounded variant for tests where the query may legitimately never
+  /// start (e.g. it raced a deadline): returns false on timeout instead
+  /// of hanging the test binary.
+  bool WaitUntilRunningFor(size_t n, std::chrono::milliseconds budget) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, budget,
+                        [this, n] { return entered_ >= n; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable std::atomic<size_t> entered_{0};
+  bool released_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Bit-identity: async answers == synchronous answers
+// ---------------------------------------------------------------------------
+
+TEST(QueryScheduler, EveryRegistryEngineMatchesSynchronousPath) {
+  const Dataset data = MakeUniform(4000, /*seed=*/21, 1.0, 2.0);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 12;
+  wl.seed = 1234;
+  const std::vector<Query> queries = RandomRangeQueries(data, wl);
+  QueryScheduler scheduler(/*num_threads=*/4);
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    SCOPED_TRACE(name);
+    const std::unique_ptr<AqpSystem> engine = MakeEngine(data, name);
+    std::vector<std::future<ScheduledAnswer>> futures;
+    for (const Query& q : queries) {
+      futures.push_back(scheduler.Submit(*engine, q));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ScheduledAnswer got = futures[i].get();
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      EXPECT_GT(got.ticket, 0u);
+      EXPECT_GE(got.queue_ms, 0.0);
+      EXPECT_GE(got.run_ms, 0.0);
+      ExpectAnswersBitIdentical(got.answer, engine->Answer(queries[i]));
+    }
+  }
+}
+
+/// The test_shard_batch pattern extended to the scheduler: sharded engines
+/// at K in {1, 2, 4}, per-shard fan-out enabled, answered through a
+/// 4-worker scheduler — bit-identical to the sequential loop, proving the
+/// two-level handoff (scheduler pool -> shard pool) neither deadlocks nor
+/// perturbs a single bit.
+TEST(QueryScheduler, ShardedAnswersBitIdenticalAtK124) {
+  const Dataset data = MakeIntelLike(8000, 110);
+  const std::vector<Query> queries = MixedWorkload(data, 10, 31);
+  QueryScheduler scheduler(/*num_threads=*/4);
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    const std::unique_ptr<AqpSystem> engine =
+        MakeEngine(data, "sharded_pass", shards);
+    std::vector<QueryAnswer> sequential;
+    for (const Query& q : queries) sequential.push_back(engine->Answer(q));
+
+    std::vector<std::future<ScheduledAnswer>> futures;
+    for (const Query& q : queries) {
+      futures.push_back(scheduler.Submit(*engine, q));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SCOPED_TRACE("K=" + std::to_string(shards) + " query " +
+                   std::to_string(i) + ": " + queries[i].ToString());
+      ScheduledAnswer got = futures[i].get();
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      ExpectAnswersBitIdentical(got.answer, sequential[i]);
+    }
+  }
+}
+
+/// Many concurrent producers multiplexed onto one scheduler over sharded
+/// engines: the deadlock-freedom claim under real contention, plus
+/// bit-identity per client.
+TEST(QueryScheduler, ConcurrentClientsOverShardFanOutNoDeadlock) {
+  const Dataset data = MakeIntelLike(6000, 77);
+  const std::vector<Query> queries = MixedWorkload(data, 4, 53);
+  QueryScheduler scheduler(/*num_threads=*/4);
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    const std::unique_ptr<AqpSystem> engine =
+        MakeEngine(data, "sharded_pass", shards);
+    std::vector<QueryAnswer> sequential;
+    for (const Query& q : queries) sequential.push_back(engine->Answer(q));
+
+    constexpr size_t kClients = 8;
+    std::vector<std::thread> clients;
+    std::atomic<size_t> mismatches{0};
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::future<ScheduledAnswer>> futures;
+        for (size_t i = c % 2; i < queries.size(); ++i) {
+          futures.push_back(scheduler.Submit(*engine, queries[i]));
+        }
+        size_t index = c % 2;
+        for (auto& f : futures) {
+          ScheduledAnswer got = f.get();
+          if (!got.status.ok() ||
+              got.answer.estimate.value !=
+                  sequential[index].estimate.value ||
+              got.answer.estimate.variance !=
+                  sequential[index].estimate.variance) {
+            ++mismatches;
+          }
+          ++index;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(mismatches.load(), 0u) << "K=" << shards;
+  }
+}
+
+TEST(QueryScheduler, BatchExecutorIsAThinWrapper) {
+  const Dataset data = MakeIntelLike(6000, 78);
+  const std::vector<Query> queries = MixedWorkload(data, 6, 59);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+
+  const BatchExecutor executor(/*num_threads=*/3);
+  const BatchResult batch = executor.Run(*engine, queries);
+  ASSERT_EQ(batch.answers.size(), queries.size());
+  EXPECT_EQ(executor.num_threads(), executor.scheduler().num_threads());
+
+  // Direct scheduler submissions produce the exact same bits Run() did.
+  std::vector<std::future<ScheduledAnswer>> futures;
+  for (const Query& q : queries) {
+    futures.push_back(executor.scheduler().Submit(*engine, q));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ScheduledAnswer got = futures[i].get();
+    ASSERT_TRUE(got.status.ok());
+    ExpectAnswersBitIdentical(got.answer, batch.answers[i]);
+  }
+}
+
+TEST(QueryScheduler, CallbackOverloadDeliversTheSameBits) {
+  const Dataset data = MakeUniform(3000, /*seed=*/5, 1.0, 2.0);
+  WorkloadOptions wl;
+  wl.count = 8;
+  wl.seed = 97;
+  const std::vector<Query> queries = RandomRangeQueries(data, wl);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+
+  QueryScheduler scheduler(/*num_threads=*/2);
+  std::mutex mu;
+  std::vector<ScheduledAnswer> delivered(queries.size());
+  std::atomic<size_t> resolved{0};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    scheduler.Submit(*engine, queries[i], SubmitOptions{},
+                     [&, i](ScheduledAnswer answer) {
+                       std::lock_guard<std::mutex> lock(mu);
+                       delivered[i] = std::move(answer);
+                       ++resolved;
+                     });
+  }
+  scheduler.Drain();
+  ASSERT_EQ(resolved.load(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(delivered[i].status.ok());
+    ExpectAnswersBitIdentical(delivered[i].answer, engine->Answer(queries[i]));
+  }
+}
+
+TEST(QueryScheduler, TicketsAreUniqueAndMonotonicPerSubmitter) {
+  const Dataset data = MakeUniform(1000, /*seed=*/5, 1.0, 2.0);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "uniform");
+  const Query q = MakeRangeQuery(AggregateType::kSum, 1.2, 1.8);
+  QueryScheduler scheduler(/*num_threads=*/2);
+  std::vector<std::future<ScheduledAnswer>> futures;
+  for (size_t i = 0; i < 16; ++i) {
+    futures.push_back(scheduler.Submit(*engine, q));
+  }
+  uint64_t last = 0;
+  for (auto& f : futures) {
+    const uint64_t ticket = f.get().ticket;
+    EXPECT_GT(ticket, last);  // single submitter: strictly increasing
+    last = ticket;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(QueryScheduler, QueuedQueryPastDeadlineIsShedUnrun) {
+  BlockingSystem blocker;
+  const Dataset data = MakeUniform(1000, /*seed=*/5, 1.0, 2.0);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "uniform");
+  const Query q = MakeRangeQuery(AggregateType::kSum, 1.2, 1.8);
+
+  QueryScheduler scheduler(/*num_threads=*/1);
+  auto held = scheduler.Submit(blocker, q);  // occupies the only worker
+  blocker.WaitUntilRunning(1);
+
+  SubmitOptions expired;
+  expired.deadline = std::chrono::milliseconds(0);
+  auto shed = scheduler.Submit(*engine, q, expired);
+
+  SubmitOptions generous;
+  generous.deadline = std::chrono::milliseconds(60'000);
+  auto kept = scheduler.Submit(*engine, q, generous);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  blocker.Release();
+
+  const ScheduledAnswer shed_result = shed.get();
+  EXPECT_EQ(shed_result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(shed_result.run_ms, 0.0);  // never ran
+  EXPECT_GE(shed_result.queue_ms, 0.0);
+
+  const ScheduledAnswer kept_result = kept.get();
+  ASSERT_TRUE(kept_result.status.ok()) << kept_result.status.ToString();
+  ExpectAnswersBitIdentical(kept_result.answer, engine->Answer(q));
+  ASSERT_TRUE(held.get().status.ok());
+}
+
+TEST(QueryScheduler, RunningQueryIsNeverTruncatedByItsDeadline) {
+  BlockingSystem blocker;
+  const Query q = MakeRangeQuery(AggregateType::kSum, 0.0, 1.0);
+  QueryScheduler scheduler(/*num_threads=*/1);
+  // Dispatched onto an idle worker well inside its deadline, which then
+  // expires while the query runs. Admission-to-dispatch policy: it still
+  // completes with an answer.
+  SubmitOptions options;
+  options.deadline = std::chrono::milliseconds(200);
+  auto future = scheduler.Submit(blocker, q, options);
+  if (!blocker.WaitUntilRunningFor(1, std::chrono::milliseconds(10'000))) {
+    // A pathologically loaded machine lost the dispatch race: the task
+    // was shed while queued, which is the other half of the same policy.
+    const ScheduledAnswer result = future.get();
+    EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(result.run_ms, 0.0);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));  // > deadline
+  blocker.Release();
+  const ScheduledAnswer result = future.get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.answer.estimate.value, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure, Drain, Shutdown
+// ---------------------------------------------------------------------------
+
+TEST(QueryScheduler, BoundedQueueBlocksProducerUntilASlotFrees) {
+  BlockingSystem blocker;
+  const Query q = MakeRangeQuery(AggregateType::kSum, 0.0, 1.0);
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.max_in_flight = 1;
+  QueryScheduler scheduler(options);
+  EXPECT_EQ(scheduler.max_in_flight(), 1u);
+
+  auto first = scheduler.Submit(blocker, q);  // fills the only slot
+  blocker.WaitUntilRunning(1);
+  EXPECT_EQ(scheduler.InFlight(), 1u);
+
+  std::atomic<bool> second_admitted{false};
+  std::future<ScheduledAnswer> second;
+  std::thread producer([&] {
+    second = scheduler.Submit(blocker, q);  // must block on backpressure
+    second_admitted = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_admitted.load()) << "Submit ignored max_in_flight";
+
+  blocker.Release();  // first resolves -> slot frees -> producer unblocks
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  ASSERT_TRUE(first.get().status.ok());
+  ASSERT_TRUE(second.get().status.ok());
+}
+
+TEST(QueryScheduler, DrainQuiescesAndKeepsAccepting) {
+  const Dataset data = MakeUniform(2000, /*seed=*/7, 1.0, 2.0);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "uniform");
+  const Query q = MakeRangeQuery(AggregateType::kSum, 1.1, 1.9);
+  QueryScheduler scheduler(/*num_threads=*/2);
+  std::vector<std::future<ScheduledAnswer>> futures;
+  for (size_t i = 0; i < 32; ++i) {
+    futures.push_back(scheduler.Submit(*engine, q));
+  }
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.InFlight(), 0u);
+  for (auto& f : futures) {
+    // Drained means resolved: the future is ready, no further waiting.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    ASSERT_TRUE(f.get().status.ok());
+  }
+  // A drain is a quiescence point, not a shutdown.
+  ASSERT_TRUE(scheduler.Submit(*engine, q).get().status.ok());
+}
+
+TEST(QueryScheduler, ShutdownDrainsAdmittedWorkAndRejectsNew) {
+  const Dataset data = MakeUniform(2000, /*seed=*/9, 1.0, 2.0);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "uniform");
+  const Query q = MakeRangeQuery(AggregateType::kSum, 1.1, 1.9);
+  QueryScheduler scheduler(/*num_threads=*/2);
+  std::vector<std::future<ScheduledAnswer>> futures;
+  for (size_t i = 0; i < 24; ++i) {
+    futures.push_back(scheduler.Submit(*engine, q));
+  }
+  scheduler.Shutdown();
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    ASSERT_TRUE(f.get().status.ok());  // graceful: admitted work completed
+  }
+
+  auto rejected = scheduler.Submit(*engine, q);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status.code(), StatusCode::kUnavailable);
+
+  // The callback overload is told about the rejection too.
+  std::atomic<bool> told{false};
+  scheduler.Submit(*engine, q, SubmitOptions{}, [&](ScheduledAnswer answer) {
+    EXPECT_EQ(answer.status.code(), StatusCode::kUnavailable);
+    told = true;
+  });
+  EXPECT_TRUE(told.load());
+  scheduler.Shutdown();  // idempotent
+}
+
+TEST(QueryScheduler, ShutdownUnblocksBackpressuredProducers) {
+  BlockingSystem blocker;
+  const Query q = MakeRangeQuery(AggregateType::kSum, 0.0, 1.0);
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.max_in_flight = 1;
+  QueryScheduler scheduler(options);
+
+  auto first = scheduler.Submit(blocker, q);
+  blocker.WaitUntilRunning(1);
+  std::future<ScheduledAnswer> second;
+  std::thread producer([&] { second = scheduler.Submit(blocker, q); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    blocker.Release();  // lets the admitted query finish draining
+  });
+  scheduler.Shutdown();  // must not deadlock on the blocked producer
+  producer.join();
+  releaser.join();
+  ASSERT_TRUE(first.get().status.ok());
+  EXPECT_EQ(second.get().status.code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool shutdown contract (the layer underneath)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i) pool.Submit([&ran] { ++ran; });
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_TRUE(pool.IsShutdown());
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPool, SubmitAfterShutdownIsADefinedError) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+#ifdef NDEBUG
+  // Release: rejected task, returns false, never runs.
+  EXPECT_FALSE(pool.Submit([&ran] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+#else
+  // Debug: loud assert instead of silent rejection.
+  EXPECT_DEATH(pool.Submit([&ran] { ran = true; }),
+               "Submit after Shutdown");
+#endif
+}
+
+}  // namespace
+}  // namespace pass

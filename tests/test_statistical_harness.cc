@@ -16,6 +16,7 @@
 #include "core/exact.h"
 #include "data/generators.h"
 #include "engine/engine_registry.h"
+#include "engine/query_scheduler.h"
 #include "tests/statistical_test_util.h"
 #include "tests/test_util.h"
 
@@ -142,6 +143,38 @@ TEST(ShardedStatistical, AvgCiCoverageAtLeast90Percent) {
       });
   ExpectCoverageAtLeast(stats, 0.95, 0.05);
   ExpectUnbiased(stats, 0.05);
+}
+
+// The async serving path carries the same statistical guarantees: every
+// trial's estimate is obtained through a QueryScheduler future instead of
+// a direct Answer call, and the merged sharded CI must still cover. (The
+// scheduler is bit-identical to the sync path, so this doubles as an
+// end-to-end regression of that claim under the coverage bar.)
+TEST(AsyncStatistical, SchedulerServedShardedSumCoverage) {
+  const Dataset data = MakeIntelLike(20000, 131);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  QueryScheduler& scheduler = QueryScheduler::Shared(/*num_threads=*/2);
+  const TrialStats stats = RunEstimatorTrials(
+      50, /*base_seed=*/132, truth.value, kLambda95, [&](uint64_t seed) {
+        EngineConfig config;
+        config.sample_rate = 0.05;
+        config.partitions = 16;
+        config.strategy = PartitionStrategy::kEqualDepth;
+        config.num_shards = 2;
+        config.seed = seed;
+        auto engine =
+            EngineRegistry::Global().Create("sharded_pass", data, config);
+        PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+        ScheduledAnswer answer = scheduler.Submit(**engine, q).get();
+        PASS_CHECK_MSG(answer.status.ok(), answer.status.ToString().c_str());
+        return answer.answer.estimate;
+      });
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.05);
+  ExpectVarianceSane(stats, 0.2, 5.0);
 }
 
 // COUNT merges across range shards, where whole shards drop out of the
