@@ -44,9 +44,11 @@ void Run() {
          Pct(EvaluateSystem(eq_sys, random_queries, random_truths,
                             EvalOpts(kLambda))
                  .median_ci_ratio),
-         Pct(EvaluateSystem(adp_sys, hard_queries, hard_truths, EvalOpts(kLambda))
+         Pct(EvaluateSystem(adp_sys, hard_queries, hard_truths,
+                            EvalOpts(kLambda))
                  .median_ci_ratio),
-         Pct(EvaluateSystem(eq_sys, hard_queries, hard_truths, EvalOpts(kLambda))
+         Pct(EvaluateSystem(eq_sys, hard_queries, hard_truths,
+                            EvalOpts(kLambda))
                  .median_ci_ratio)});
   }
   table.Print();

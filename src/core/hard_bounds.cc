@@ -67,8 +67,12 @@ HardBounds ComputeHardBounds(const PartitionTree& tree,
     case AggregateType::kMin: {
       // True min is >= the smallest value any intersecting partition holds.
       double lb = kInf;
-      for (const int32_t id : covered) lb = std::min(lb, tree.node(id).stats.min);
-      for (const int32_t id : partial) lb = std::min(lb, tree.node(id).stats.min);
+      for (const int32_t id : covered) {
+        lb = std::min(lb, tree.node(id).stats.min);
+      }
+      for (const int32_t id : partial) {
+        lb = std::min(lb, tree.node(id).stats.min);
+      }
       // Upper bound: any observed matching value; else any matching tuple
       // is <= its partition's max, so <= max over all intersecting maxes.
       double ub = kInf;
@@ -86,8 +90,12 @@ HardBounds ComputeHardBounds(const PartitionTree& tree,
     }
     case AggregateType::kMax: {
       double ub = -kInf;
-      for (const int32_t id : covered) ub = std::max(ub, tree.node(id).stats.max);
-      for (const int32_t id : partial) ub = std::max(ub, tree.node(id).stats.max);
+      for (const int32_t id : covered) {
+        ub = std::max(ub, tree.node(id).stats.max);
+      }
+      for (const int32_t id : partial) {
+        ub = std::max(ub, tree.node(id).stats.max);
+      }
       double lb = -kInf;
       if (cov.count > 0) lb = std::max(lb, cov.max);
       if (observed_max.has_value()) lb = std::max(lb, *observed_max);

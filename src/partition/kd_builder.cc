@@ -55,9 +55,9 @@ class LeafScorer {
     std::vector<uint32_t> sorted = rows;
     const auto& col = data_.pred_column(dims_[dim]);
     const size_t mid = n / 2;
-    std::nth_element(sorted.begin(),
-                     sorted.begin() + static_cast<long>(mid), sorted.end(),
-                     [&col](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+    std::nth_element(
+        sorted.begin(), sorted.begin() + static_cast<long>(mid), sorted.end(),
+        [&col](uint32_t a, uint32_t b) { return col[a] < col[b]; });
     double best = 0.0;
     const double dn = static_cast<double>(n);
     for (int half = 0; half < 2; ++half) {
@@ -115,9 +115,9 @@ class LeafScorer {
     const auto& col = data_.pred_column(dims_[dim]);
     std::vector<uint32_t> sorted = rows;
     const size_t mid = n / 2;
-    std::nth_element(sorted.begin(),
-                     sorted.begin() + static_cast<long>(mid), sorted.end(),
-                     [&col](uint32_t a, uint32_t b) { return col[a] < col[b]; });
+    std::nth_element(
+        sorted.begin(), sorted.begin() + static_cast<long>(mid), sorted.end(),
+        [&col](uint32_t a, uint32_t b) { return col[a] < col[b]; });
     std::vector<uint32_t> left(sorted.begin(),
                                sorted.begin() + static_cast<long>(mid));
     std::vector<uint32_t> right(sorted.begin() + static_cast<long>(mid),

@@ -27,8 +27,8 @@ void Dataset::AddRow(const std::vector<double>& preds, double agg) {
 
 Dataset Dataset::WithPredDims(size_t num_dims) const {
   PASS_CHECK(num_dims >= 1 && num_dims <= NumPredDims());
-  std::vector<std::string> names(pred_names_.begin(),
-                                 pred_names_.begin() + static_cast<long>(num_dims));
+  std::vector<std::string> names(
+      pred_names_.begin(), pred_names_.begin() + static_cast<long>(num_dims));
   Dataset out(agg_name_, std::move(names));
   out.agg_ = agg_;
   for (size_t i = 0; i < num_dims; ++i) out.pred_cols_[i] = pred_cols_[i];

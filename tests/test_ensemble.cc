@@ -81,7 +81,8 @@ TEST(SynopsisEnsemble, FairTotalBudgetSplitAcrossMembers) {
   for (size_t m = 0; m < ensemble.NumMembers(); ++m) {
     double stored = 0.0;
     for (size_t leaf = 0; leaf < ensemble.member(m).NumLeaves(); ++leaf) {
-      stored += static_cast<double>(ensemble.member(m).leaf_sample(leaf).size());
+      stored +=
+          static_cast<double>(ensemble.member(m).leaf_sample(leaf).size());
     }
     EXPECT_NEAR(stored, per_member, 0.2 * per_member) << "member " << m;
     stored_total += stored;

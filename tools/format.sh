@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Formats the whole tree with the pinned clang-format (the version the
+# blocking CI job installs). Run from the repo root:
+#
+#   tools/format.sh          # rewrite files in place
+#   tools/format.sh --check  # dry run, exit 1 on drift (what CI does)
+set -euo pipefail
+
+# Prefer the pinned major; fall back to a bare clang-format for local
+# convenience (CI always has the pinned one).
+FMT=$(command -v clang-format-18 || command -v clang-format || true)
+if [[ -z "${FMT}" ]]; then
+  echo "clang-format not found (CI pins clang-format-18)" >&2
+  exit 2
+fi
+
+MODE=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  MODE=(--dry-run --Werror)
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "${FMT}" "${MODE[@]}"
