@@ -50,6 +50,29 @@ struct QueryAnswer {
   }
 };
 
+/// The three linked aggregates of one predicate — SUM, COUNT and AVG —
+/// answered together. A fused producer (one MCF walk + one leaf-sample
+/// scan) fills all three from the same frontier, so the per-answer
+/// diagnostics are identical and describe the work of that single
+/// evaluation, and `sum_count_cov` is the *directly computed* covariance
+/// between the SUM and COUNT estimators — the quantity the AVG delta
+/// method and the shard merge need, and which the pre-fusion code could
+/// only recover (lossily) by inverting the AVG variance.
+struct MultiAnswer {
+  QueryAnswer sum;
+  QueryAnswer count;
+  QueryAnswer avg;
+
+  /// Cov(SUM estimator, COUNT estimator). Exact when `fused`; 0 (a
+  /// conservative choice for non-negative aggregation columns) otherwise.
+  double sum_count_cov = 0.0;
+
+  /// True when all three answers came from one synopsis evaluation over a
+  /// shared frontier (exact covariance); false for the per-aggregate
+  /// fallback of systems without a fused path.
+  bool fused = false;
+};
+
 }  // namespace pass
 
 #endif  // PASS_CORE_ANSWER_H_

@@ -1,7 +1,6 @@
 #include "core/answer_merge.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
 
 #include "common/macros.h"
@@ -150,40 +149,13 @@ QueryAnswer MergeExtremum(bool is_min, const std::vector<QueryAnswer>& parts) {
   return out;
 }
 
-/// Recovers the within-shard Cov(SUM, COUNT) the shard's delta-method AVG
-/// variance embeds: Var(S/C) ~= (VarS - 2 r Cov + r^2 VarC) / C^2 solved
-/// for Cov. The inversion is exact only when the AVG answer used the same
-/// frontier as the SUM/COUNT answers; the zero-variance rule (AVG-only)
-/// can decompose the query differently, in which case the solved value
-/// drifts outside the Cauchy-Schwarz range |Cov| <= sqrt(VarS*VarC). Any
-/// out-of-range result is treated as "no reliable covariance" and dropped
-/// to 0 — never clamped to the limit, which would fabricate maximal
-/// correlation and understate the merged variance. Returning 0 also
-/// covers the non-ratio cases (exact shard, no evidence, r ~ 0); for
-/// positively correlated (e.g. non-negative) aggregation columns that
-/// only widens the merged interval.
-double RecoverShardCovariance(const AvgShardParts& p) {
-  if (p.avg.exact || p.avg.matched_sample_rows == 0) return 0.0;
-  const double c = p.count.estimate.value;
-  if (!(c > 0.0)) return 0.0;
-  const double r = p.sum.estimate.value / c;
-  if (!std::isfinite(r) || r == 0.0) return 0.0;
-  const double var_s = p.sum.estimate.variance;
-  const double var_c = p.count.estimate.variance;
-  const double cov =
-      (var_s + r * r * var_c - p.avg.estimate.variance * c * c) / (2.0 * r);
-  const double limit = std::sqrt(var_s * var_c);
-  if (!std::isfinite(cov) || std::abs(cov) > limit) return 0.0;
-  return cov;
-}
-
 }  // namespace
 
 QueryAnswer MergeShardAnswers(AggregateType agg,
                               const std::vector<QueryAnswer>& parts) {
   PASS_CHECK_MSG(!parts.empty(), "cannot merge zero shard answers");
   PASS_CHECK_MSG(agg != AggregateType::kAvg,
-                 "AVG merging needs MergeShardAvg (SUM and COUNT parts)");
+                 "AVG merging needs MergeShardMulti (fused shard answers)");
   QueryAnswer out;
   switch (agg) {
     case AggregateType::kSum:
@@ -201,16 +173,33 @@ QueryAnswer MergeShardAnswers(AggregateType agg,
   return out;
 }
 
-QueryAnswer MergeShardAvg(const std::vector<AvgShardParts>& parts) {
+MultiAnswer MergeShardMulti(const std::vector<MultiAnswer>& parts) {
   PASS_CHECK_MSG(!parts.empty(), "cannot merge zero shard answers");
-  QueryAnswer out;
-  out.exact = true;
+  MultiAnswer out;
 
-  double sum = 0.0;
-  double count = 0.0;
-  double var_sum = 0.0;
-  double var_count = 0.0;
-  double cov = 0.0;
+  std::vector<QueryAnswer> sums;
+  std::vector<QueryAnswer> counts;
+  sums.reserve(parts.size());
+  counts.reserve(parts.size());
+  for (const MultiAnswer& p : parts) {
+    sums.push_back(p.sum);
+    counts.push_back(p.count);
+  }
+  out.sum = MergeShardAnswers(AggregateType::kSum, sums);
+  out.count = MergeShardAnswers(AggregateType::kCount, counts);
+
+  // Shards sample independently, so the cross-aggregate covariances add
+  // just like the variances. A non-fused part reports 0 — conservative
+  // for positively correlated (e.g. non-negative) aggregation columns —
+  // and demotes the merged answer to non-fused.
+  out.fused = true;
+  for (const MultiAnswer& p : parts) {
+    out.sum_count_cov += p.sum_count_cov;
+    out.fused = out.fused && p.fused;
+  }
+
+  QueryAnswer avg;
+  avg.exact = true;
   // AVG bounds: the union's average is a cardinality-weighted convex
   // combination of the nonempty shards' averages, so it lies within
   // [min lb_i, max ub_i]; empty-frontier shards have weight 0 and drop out.
@@ -218,13 +207,8 @@ QueryAnswer MergeShardAvg(const std::vector<AvgShardParts>& parts) {
   double ub = -kInf;
   bool bounds_valid = false;
   bool bounds_ok = true;
-  for (const AvgShardParts& p : parts) {
-    sum += p.sum.estimate.value;
-    count += p.count.estimate.value;
-    var_sum += p.sum.estimate.variance;
-    var_count += p.count.estimate.variance;
-    cov += RecoverShardCovariance(p);
-    out.exact = out.exact && p.avg.exact;
+  for (const MultiAnswer& p : parts) {
+    avg.exact = avg.exact && p.avg.exact;
     if (p.avg.hard_lb && p.avg.hard_ub) {
       bounds_valid = true;
       lb = std::min(lb, *p.avg.hard_lb);
@@ -234,33 +218,39 @@ QueryAnswer MergeShardAvg(const std::vector<AvgShardParts>& parts) {
     }
   }
   if (bounds_valid && bounds_ok) {
-    out.hard_lb = lb;
-    out.hard_ub = ub;
+    avg.hard_lb = lb;
+    avg.hard_ub = ub;
   }
 
+  const double count = out.count.estimate.value;
   if (count > 0.0) {
-    const double ratio = sum / count;
-    out.estimate.value = ratio;
-    if (out.exact) {
-      out.estimate.variance = 0.0;
+    const double ratio = out.sum.estimate.value / count;
+    avg.estimate.value = ratio;
+    if (avg.exact) {
+      avg.estimate.variance = 0.0;
     } else {
-      const double var =
-          (var_sum - 2.0 * ratio * cov + ratio * ratio * var_count) /
-          (count * count);
-      out.estimate.variance = std::max(var, 0.0);
+      const double var = (out.sum.estimate.variance -
+                          2.0 * ratio * out.sum_count_cov +
+                          ratio * ratio * out.count.estimate.variance) /
+                         (count * count);
+      avg.estimate.variance = std::max(var, 0.0);
     }
   } else {
     // No evidence of any matching tuple anywhere: fall back to the merged
     // hard-bound midpoint, mirroring the single-synopsis estimator.
-    out.estimate = out.hard_lb
-                       ? MidpointOverBounds(*out.hard_lb, *out.hard_ub)
+    avg.estimate = avg.hard_lb
+                       ? MidpointOverBounds(*avg.hard_lb, *avg.hard_ub)
                        : Estimate{};
   }
 
+  // One fused evaluation per shard: the shared per-shard diagnostics sum
+  // to exactly the work performed (the pre-fusion merge only counted the
+  // AVG sub-answer of three calls, hiding two-thirds of the scans).
   std::vector<QueryAnswer> avg_parts;
   avg_parts.reserve(parts.size());
-  for (const AvgShardParts& p : parts) avg_parts.push_back(p.avg);
-  MergeDiagnostics(avg_parts, &out);
+  for (const MultiAnswer& p : parts) avg_parts.push_back(p.avg);
+  MergeDiagnostics(avg_parts, &avg);
+  out.avg = avg;
   return out;
 }
 

@@ -19,30 +19,27 @@ namespace pass {
 ///  - MIN/MAX: the merged estimate is the best shard estimate; hard bounds
 ///    combine as min/max of the shard bounds.
 ///  - AVG: the ratio combination SUM/COUNT over the merged SUM and COUNT
-///    estimators, with the delta-method variance. The within-shard
-///    covariance between the SUM and COUNT estimators is recovered from
-///    each shard's own AVG variance (which already embeds it); recoveries
-///    outside the Cauchy-Schwarz range are discarded as unreliable.
+///    estimators, with the delta-method variance over the directly
+///    computed within-shard Cov(SUM, COUNT) that every fused MultiAnswer
+///    carries (covariances add across independent shards).
 ///
 /// Diagnostics (rows, skip counts, node counts) always add.
 
 /// Merges per-shard answers for COUNT, SUM, MIN or MAX queries. `parts`
 /// must be non-empty and all shards must partition the same population.
-/// AVG queries need the three-answer form below.
+/// AVG queries merge through MergeShardMulti below.
 QueryAnswer MergeShardAnswers(AggregateType agg,
                               const std::vector<QueryAnswer>& parts);
 
-/// One shard's contribution to a merged AVG: the shard's own AVG answer
-/// (hard bounds, diagnostics, covariance recovery) plus its SUM and COUNT
-/// answers for the same predicate (the mergeable estimators).
-struct AvgShardParts {
-  QueryAnswer avg;
-  QueryAnswer sum;
-  QueryAnswer count;
-};
-
-/// Ratio-combined AVG over shards. `parts` must be non-empty.
-QueryAnswer MergeShardAvg(const std::vector<AvgShardParts>& parts);
+/// Merges per-shard fused multi-answers: SUM and COUNT combine additively
+/// (the same rule MergeShardAnswers applies), the cross-aggregate
+/// covariances add, and AVG is the ratio over the merged SUM and COUNT
+/// with the delta-method variance over the exact merged covariance — no
+/// recovery from the shard's AVG variance, hence no Cauchy-Schwarz drift
+/// and no silent fallback to 0. The merged AVG diagnostics are the sum of
+/// the per-shard (shared) diagnostics, i.e. exactly one synopsis
+/// evaluation per shard. `parts` must be non-empty.
+MultiAnswer MergeShardMulti(const std::vector<MultiAnswer>& parts);
 
 }  // namespace pass
 

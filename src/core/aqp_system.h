@@ -26,6 +26,26 @@ class AqpSystem {
   virtual QueryAnswer Answer(const Query& query) const = 0;
   virtual std::string Name() const = 0;
   virtual SystemCosts Costs() const = 0;
+
+  /// Answers SUM, COUNT and AVG over one predicate in a single call. The
+  /// base implementation issues three per-aggregate Answer() calls and
+  /// reports no cross-aggregate covariance (fused == false); systems that
+  /// can produce all three from one evaluation override it. Fused
+  /// implementations always report AVG as the SUM/COUNT ratio estimator
+  /// (the form a covariance applies to), independent of any per-aggregate
+  /// AVG mode the system's Answer() path may be configured with.
+  virtual MultiAnswer AnswerMulti(const Rect& predicate) const {
+    MultiAnswer out;
+    Query q;
+    q.predicate = predicate;
+    q.agg = AggregateType::kSum;
+    out.sum = Answer(q);
+    q.agg = AggregateType::kCount;
+    out.count = Answer(q);
+    q.agg = AggregateType::kAvg;
+    out.avg = Answer(q);
+    return out;
+  }
 };
 
 }  // namespace pass

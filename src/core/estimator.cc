@@ -17,15 +17,172 @@ double Fpc(double n_pop, double k_samp, bool enabled) {
   return FinitePopulationCorrection(n_pop, k_samp);
 }
 
-/// Accumulators for the ratio (SUM/COUNT) AVG estimator: per-stratum
-/// variances and covariances summed across independent strata.
-struct RatioParts {
-  double sum = 0.0;        // A
-  double count = 0.0;      // B
-  double var_sum = 0.0;    // Var(A)
-  double var_count = 0.0;  // Var(B)
-  double cov = 0.0;        // Cov(A, B)
+/// One partially-overlapped leaf: its population, its sample size, and the
+/// matched-tuple moments of the single scan over its stratified sample.
+struct PartialScan {
+  int32_t node = -1;
+  double n_pop = 0.0;
+  double k_samp = 0.0;
+  StratifiedSample::ScanResult scan;
 };
+
+/// Everything one MCF walk plus one pass over the partial-leaf samples
+/// yields. Every aggregate estimate below is a pure function of this, so a
+/// fused SUM/COUNT/AVG answer costs exactly one of these.
+struct FrontierScan {
+  PartitionTree::Frontier frontier;
+  AggregateStats covered_stats;  // covered + 0-variance nodes merged
+  std::vector<PartialScan> partials;
+  std::optional<double> observed_min;
+  std::optional<double> observed_max;
+  QueryAnswer base;  // shared diagnostics; estimate and bounds left empty
+};
+
+FrontierScan ScanFrontier(const PartitionTree& tree,
+                          const std::vector<StratifiedSample>& samples,
+                          const Rect& predicate, bool use_rule) {
+  FrontierScan fs;
+  fs.frontier = tree.ComputeMcf(predicate, use_rule);
+
+  QueryAnswer& out = fs.base;
+  out.covered_nodes = static_cast<uint32_t>(fs.frontier.covered.size() +
+                                            fs.frontier.zero_var.size());
+  out.partial_leaves = static_cast<uint32_t>(fs.frontier.partial.size());
+  out.nodes_visited = fs.frontier.nodes_visited;
+  if (tree.root() >= 0) {
+    out.population_rows = tree.node(tree.root()).stats.count;
+  }
+
+  // Rows the synopsis never has to look at: everything outside the partial
+  // leaves (covered partitions are answered from aggregates; disjoint ones
+  // are skipped by the index walk).
+  uint64_t partial_rows = 0;
+  for (const int32_t id : fs.frontier.partial) {
+    partial_rows += tree.node(id).stats.count;
+  }
+  out.population_rows_skipped = out.population_rows - partial_rows;
+  out.exact = fs.frontier.partial.empty() && fs.frontier.zero_var.empty();
+
+  // Exact side: merge covered aggregates; 0-variance nodes contribute their
+  // constant value with their full cardinality (the paper's rule).
+  for (const int32_t id : fs.frontier.covered) {
+    fs.covered_stats.Merge(tree.node(id).stats);
+  }
+  for (const int32_t id : fs.frontier.zero_var) {
+    fs.covered_stats.Merge(tree.node(id).stats);
+  }
+
+  // Scan the stratified samples of partially-overlapped leaves once.
+  fs.partials.reserve(fs.frontier.partial.size());
+  for (const int32_t id : fs.frontier.partial) {
+    const PartitionTree::Node& n = tree.node(id);
+    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
+    const StratifiedSample& sample = samples[static_cast<size_t>(n.leaf_id)];
+    PartialScan p;
+    p.node = id;
+    p.n_pop = static_cast<double>(n.stats.count);
+    p.k_samp = static_cast<double>(sample.size());
+    p.scan = sample.Scan(predicate);
+    out.sample_rows_scanned += sample.size();
+    out.matched_sample_rows += p.scan.matched;
+    if (p.scan.matched > 0) {
+      fs.observed_min = fs.observed_min
+                            ? std::min(*fs.observed_min, p.scan.min)
+                            : p.scan.min;
+      fs.observed_max = fs.observed_max
+                            ? std::max(*fs.observed_max, p.scan.max)
+                            : p.scan.max;
+    }
+    fs.partials.push_back(p);
+  }
+  return fs;
+}
+
+/// Hard bounds need the 0-variance nodes on the *partial* side (their
+/// matched cardinality is unknown even though their value is constant).
+HardBounds BoundsFor(const PartitionTree& tree, const FrontierScan& fs,
+                     AggregateType agg) {
+  std::vector<int32_t> bound_partials = fs.frontier.partial;
+  bound_partials.insert(bound_partials.end(), fs.frontier.zero_var.begin(),
+                        fs.frontier.zero_var.end());
+  return ComputeHardBounds(tree, fs.frontier.covered, bound_partials, agg,
+                           fs.observed_min, fs.observed_max);
+}
+
+/// SUM/COUNT estimate over a scanned frontier: exact covered contribution
+/// plus one stratum estimator per partial leaf. A leaf with no sample
+/// falls back to the midpoint of its deterministic contribution bounds,
+/// with the variance of a uniform distribution over that range.
+Estimate AdditiveEstimate(const PartitionTree& tree, const FrontierScan& fs,
+                          bool is_sum, bool use_fpc) {
+  Estimate out;
+  double value = is_sum ? fs.covered_stats.sum
+                        : static_cast<double>(fs.covered_stats.count);
+  double variance = 0.0;
+  for (const PartialScan& p : fs.partials) {
+    if (p.k_samp <= 0.0) {
+      const AggregateStats& s = tree.node(p.node).stats;
+      const double cnt = static_cast<double>(s.count);
+      double lo;
+      double hi;
+      if (is_sum) {
+        lo = (s.max <= 0.0) ? s.sum : cnt * std::min(0.0, s.min);
+        hi = (s.min >= 0.0) ? s.sum : cnt * std::max(0.0, s.max);
+      } else {
+        lo = 0.0;
+        hi = cnt;
+      }
+      value += 0.5 * (lo + hi);
+      variance += (hi - lo) * (hi - lo) / 12.0;
+      continue;
+    }
+    const double s =
+        is_sum ? p.scan.sum : static_cast<double>(p.scan.matched);
+    const double ss =
+        is_sum ? p.scan.sum_sq : static_cast<double>(p.scan.matched);
+    const StratumEstimate est =
+        EstimateStratumSum(p.n_pop, p.k_samp, s, ss, use_fpc);
+    value += est.value;
+    variance += est.variance;
+  }
+  out.value = value;
+  out.variance = variance;
+  return out;
+}
+
+/// Exact Cov(SUM estimator, COUNT estimator), summed over the independent
+/// partial strata: per stratum n²·Cov_sample(φ·a, φ)/k·fpc, where
+/// E[(φa)·φ] = E[φa] because the match indicator φ is 0/1. Covered nodes
+/// are deterministic (no covariance); sample-less leaves use independent
+/// midpoint fallbacks for SUM and COUNT and contribute 0.
+double SumCountCovariance(const FrontierScan& fs, bool use_fpc) {
+  double cov = 0.0;
+  for (const PartialScan& p : fs.partials) {
+    if (p.k_samp <= 0.0) continue;
+    const double k = static_cast<double>(p.scan.matched);
+    const double mean_x = p.scan.sum / p.k_samp;
+    const double mean_y = k / p.k_samp;
+    const double cov_sample = p.scan.sum / p.k_samp - mean_x * mean_y;
+    cov += p.n_pop * p.n_pop * cov_sample / p.k_samp *
+           Fpc(p.n_pop, p.k_samp, use_fpc);
+  }
+  return cov;
+}
+
+/// Delta-method ratio SUM/COUNT. With no evidence of any matching tuple it
+/// reports the hard-bound midpoint if available, else 0, with zero
+/// confidence.
+Estimate RatioEstimate(const Estimate& sum, const Estimate& count,
+                       double cov, const HardBounds& hard) {
+  if (count.value <= 0.0) {
+    return hard.valid ? MidpointOverBounds(hard.lb, hard.ub) : Estimate{};
+  }
+  const double ratio = sum.value / count.value;
+  const double var =
+      (sum.variance - 2.0 * ratio * cov + ratio * ratio * count.variance) /
+      (count.value * count.value);
+  return {ratio, std::max(var, 0.0)};
+}
 
 }  // namespace
 
@@ -33,8 +190,8 @@ StratumEstimate EstimateStratumSum(double n_pop, double k_samp, double s,
                                    double ss, bool use_fpc) {
   StratumEstimate out;
   if (k_samp <= 0.0 || n_pop <= 0.0) return out;
-  const double mean_phi = s / k_samp;                      // E[pred*a]
-  double var_phi = ss / k_samp - mean_phi * mean_phi;      // Var(pred*a)
+  const double mean_phi = s / k_samp;                  // E[pred*a]
+  double var_phi = ss / k_samp - mean_phi * mean_phi;  // Var(pred*a)
   var_phi = std::max(var_phi, 0.0);
   out.value = n_pop * mean_phi;
   out.variance =
@@ -47,78 +204,13 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
                            const Query& query, const EstimatorOptions& opts) {
   const bool use_rule =
       opts.zero_variance_rule && query.agg == AggregateType::kAvg;
-  const PartitionTree::Frontier frontier =
-      tree.ComputeMcf(query.predicate, use_rule);
+  const FrontierScan fs =
+      ScanFrontier(tree, samples, query.predicate, use_rule);
 
-  QueryAnswer out;
-  out.covered_nodes = static_cast<uint32_t>(frontier.covered.size() +
-                                            frontier.zero_var.size());
-  out.partial_leaves = static_cast<uint32_t>(frontier.partial.size());
-  out.nodes_visited = frontier.nodes_visited;
-  if (tree.root() >= 0) {
-    out.population_rows = tree.node(tree.root()).stats.count;
-  }
-
-  // Rows the synopsis never has to look at: everything outside the partial
-  // leaves (covered partitions are answered from aggregates; disjoint ones
-  // are skipped by the index walk).
-  uint64_t partial_rows = 0;
-  for (const int32_t id : frontier.partial) {
-    partial_rows += tree.node(id).stats.count;
-  }
-  out.population_rows_skipped = out.population_rows - partial_rows;
-  out.exact = frontier.partial.empty() && frontier.zero_var.empty();
-
-  // Exact side: merge covered aggregates; 0-variance nodes contribute their
-  // constant value with their full cardinality (the paper's rule).
-  AggregateStats covered_stats;
-  for (const int32_t id : frontier.covered) {
-    covered_stats.Merge(tree.node(id).stats);
-  }
-  for (const int32_t id : frontier.zero_var) {
-    covered_stats.Merge(tree.node(id).stats);
-  }
-
-  // Scan the stratified samples of partially-overlapped leaves once.
-  struct PartialScan {
-    int32_t node = -1;
-    double n_pop = 0.0;
-    double k_samp = 0.0;
-    StratifiedSample::ScanResult scan;
-  };
-  std::vector<PartialScan> partials;
-  partials.reserve(frontier.partial.size());
-  std::optional<double> observed_min;
-  std::optional<double> observed_max;
-  for (const int32_t id : frontier.partial) {
-    const PartitionTree::Node& n = tree.node(id);
-    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
-    const StratifiedSample& sample = samples[static_cast<size_t>(n.leaf_id)];
-    PartialScan p;
-    p.node = id;
-    p.n_pop = static_cast<double>(n.stats.count);
-    p.k_samp = static_cast<double>(sample.size());
-    p.scan = sample.Scan(query.predicate);
-    out.sample_rows_scanned += sample.size();
-    out.matched_sample_rows += p.scan.matched;
-    if (p.scan.matched > 0) {
-      observed_min = observed_min ? std::min(*observed_min, p.scan.min)
-                                  : p.scan.min;
-      observed_max = observed_max ? std::max(*observed_max, p.scan.max)
-                                  : p.scan.max;
-    }
-    partials.push_back(p);
-  }
-
-  // Hard bounds need the 0-variance nodes on the *partial* side (their
-  // matched cardinality is unknown even though their value is constant).
+  QueryAnswer out = fs.base;
   HardBounds hard;
   if (opts.compute_hard_bounds) {
-    std::vector<int32_t> bound_partials = frontier.partial;
-    bound_partials.insert(bound_partials.end(), frontier.zero_var.begin(),
-                          frontier.zero_var.end());
-    hard = ComputeHardBounds(tree, frontier.covered, bound_partials,
-                             query.agg, observed_min, observed_max);
+    hard = BoundsFor(tree, fs, query.agg);
     if (hard.valid) {
       out.hard_lb = hard.lb;
       out.hard_ub = hard.ub;
@@ -127,87 +219,27 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
 
   switch (query.agg) {
     case AggregateType::kSum:
-    case AggregateType::kCount: {
-      const bool is_sum = query.agg == AggregateType::kSum;
-      double value = is_sum ? covered_stats.sum
-                            : static_cast<double>(covered_stats.count);
-      double variance = 0.0;
-      for (const PartialScan& p : partials) {
-        if (p.k_samp <= 0.0) {
-          // Leaf with no sample: fall back to the midpoint of the node's
-          // deterministic contribution bounds, with the variance of a
-          // uniform distribution over that range.
-          const AggregateStats& s = tree.node(p.node).stats;
-          const double cnt = static_cast<double>(s.count);
-          double lo;
-          double hi;
-          if (is_sum) {
-            lo = (s.max <= 0.0) ? s.sum : cnt * std::min(0.0, s.min);
-            hi = (s.min >= 0.0) ? s.sum : cnt * std::max(0.0, s.max);
-          } else {
-            lo = 0.0;
-            hi = cnt;
-          }
-          value += 0.5 * (lo + hi);
-          variance += (hi - lo) * (hi - lo) / 12.0;
-          continue;
-        }
-        const double s = is_sum ? p.scan.sum
-                                : static_cast<double>(p.scan.matched);
-        const double ss = is_sum ? p.scan.sum_sq
-                                 : static_cast<double>(p.scan.matched);
-        const StratumEstimate est =
-            EstimateStratumSum(p.n_pop, p.k_samp, s, ss, opts.use_fpc);
-        value += est.value;
-        variance += est.variance;
-      }
-      out.estimate.value = value;
-      out.estimate.variance = variance;
+    case AggregateType::kCount:
+      out.estimate = AdditiveEstimate(
+          tree, fs, query.agg == AggregateType::kSum, opts.use_fpc);
       break;
-    }
 
     case AggregateType::kAvg: {
       if (opts.avg_mode == AvgMode::kRatio) {
-        RatioParts r;
-        r.sum = covered_stats.sum;
-        r.count = static_cast<double>(covered_stats.count);
-        for (const PartialScan& p : partials) {
-          if (p.k_samp <= 0.0 || p.scan.matched == 0) continue;
-          const double k = static_cast<double>(p.scan.matched);
-          const StratumEstimate es = EstimateStratumSum(
-              p.n_pop, p.k_samp, p.scan.sum, p.scan.sum_sq, opts.use_fpc);
-          const StratumEstimate ec =
-              EstimateStratumSum(p.n_pop, p.k_samp, k, k, opts.use_fpc);
-          r.sum += es.value;
-          r.count += ec.value;
-          r.var_sum += es.variance;
-          r.var_count += ec.variance;
-          // Cov of the (sum, count) estimators within the stratum:
-          // sample covariance of (pred*a, pred) scaled like the variances.
-          const double mean_x = p.scan.sum / p.k_samp;
-          const double mean_y = k / p.k_samp;
-          const double cov_sample = p.scan.sum / p.k_samp - mean_x * mean_y;
-          r.cov += p.n_pop * p.n_pop * cov_sample / p.k_samp *
-                   Fpc(p.n_pop, p.k_samp, opts.use_fpc);
-        }
-        if (r.count <= 0.0) {
-          // No evidence of any matching tuple: report the hard-bound
-          // midpoint if available, else 0, with zero confidence.
-          out.estimate =
-              hard.valid ? MidpointOverBounds(hard.lb, hard.ub) : Estimate{};
-        } else {
-          const double ratio = r.sum / r.count;
-          double var = (r.var_sum - 2.0 * ratio * r.cov +
-                        ratio * ratio * r.var_count) /
-                       (r.count * r.count);
-          out.estimate.value = ratio;
-          out.estimate.variance = std::max(var, 0.0);
-        }
+        // The ratio of the additive SUM and COUNT estimators over this
+        // frontier with their exact covariance — so a sample-less partial
+        // leaf falls back to the same bounds midpoint the SUM/COUNT paths
+        // use instead of silently dropping known population mass.
+        const Estimate sum = AdditiveEstimate(tree, fs, true, opts.use_fpc);
+        const Estimate count =
+            AdditiveEstimate(tree, fs, false, opts.use_fpc);
+        out.estimate = RatioEstimate(
+            sum, count, SumCountCovariance(fs, opts.use_fpc), hard);
       } else {
         // Paper weights: relevant partitions are the covered + 0-variance
         // nodes and the partial leaves with at least one matched sample.
-        double n_q = static_cast<double>(covered_stats.count);
-        for (const PartialScan& p : partials) {
+        double n_q = static_cast<double>(fs.covered_stats.count);
+        for (const PartialScan& p : fs.partials) {
           if (p.scan.matched > 0) n_q += p.n_pop;
         }
         if (n_q <= 0.0) {
@@ -215,13 +247,13 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
               hard.valid ? MidpointOverBounds(hard.lb, hard.ub) : Estimate{};
           break;
         }
-        double value = covered_stats.count > 0
-                           ? covered_stats.Mean() *
-                                 (static_cast<double>(covered_stats.count) /
-                                  n_q)
-                           : 0.0;
+        double value =
+            fs.covered_stats.count > 0
+                ? fs.covered_stats.Mean() *
+                      (static_cast<double>(fs.covered_stats.count) / n_q)
+                : 0.0;
         double variance = 0.0;
-        for (const PartialScan& p : partials) {
+        for (const PartialScan& p : fs.partials) {
           if (p.scan.matched == 0) continue;
           const double k = static_cast<double>(p.scan.matched);
           const double w = p.n_pop / n_q;
@@ -244,11 +276,11 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
       // extrema are attained by matching tuples) and matched sample rows.
       const bool is_min = query.agg == AggregateType::kMin;
       double best = is_min ? kInf : -kInf;
-      if (covered_stats.count > 0) {
-        best = is_min ? covered_stats.min : covered_stats.max;
+      if (fs.covered_stats.count > 0) {
+        best = is_min ? fs.covered_stats.min : fs.covered_stats.max;
       }
-      if (is_min && observed_min) best = std::min(best, *observed_min);
-      if (!is_min && observed_max) best = std::max(best, *observed_max);
+      if (is_min && fs.observed_min) best = std::min(best, *fs.observed_min);
+      if (!is_min && fs.observed_max) best = std::max(best, *fs.observed_max);
       if (best == kInf || best == -kInf) {
         // Nothing observed: report the midpoint of the hard bounds.
         best = hard.valid ? 0.5 * (hard.lb + hard.ub) : 0.0;
@@ -258,6 +290,49 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
       break;
     }
   }
+  return out;
+}
+
+MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                const Rect& predicate,
+                                const EstimatorOptions& opts) {
+  // One walk without the AVG-only zero-variance rule: the frontier is the
+  // one the per-aggregate SUM/COUNT paths use, so their estimates stay
+  // bit-identical, and a shared frontier is what makes the directly
+  // computed Cov(SUM, COUNT) exact for the AVG delta method.
+  const FrontierScan fs = ScanFrontier(tree, samples, predicate, false);
+
+  MultiAnswer out;
+  out.fused = true;
+  out.sum = fs.base;
+  out.count = fs.base;
+  out.avg = fs.base;
+
+  HardBounds avg_hard;
+  if (opts.compute_hard_bounds) {
+    const HardBounds sum_hard = BoundsFor(tree, fs, AggregateType::kSum);
+    if (sum_hard.valid) {
+      out.sum.hard_lb = sum_hard.lb;
+      out.sum.hard_ub = sum_hard.ub;
+    }
+    const HardBounds count_hard = BoundsFor(tree, fs, AggregateType::kCount);
+    if (count_hard.valid) {
+      out.count.hard_lb = count_hard.lb;
+      out.count.hard_ub = count_hard.ub;
+    }
+    avg_hard = BoundsFor(tree, fs, AggregateType::kAvg);
+    if (avg_hard.valid) {
+      out.avg.hard_lb = avg_hard.lb;
+      out.avg.hard_ub = avg_hard.ub;
+    }
+  }
+
+  out.sum.estimate = AdditiveEstimate(tree, fs, true, opts.use_fpc);
+  out.count.estimate = AdditiveEstimate(tree, fs, false, opts.use_fpc);
+  out.sum_count_cov = SumCountCovariance(fs, opts.use_fpc);
+  out.avg.estimate = RatioEstimate(out.sum.estimate, out.count.estimate,
+                                   out.sum_count_cov, avg_hard);
   return out;
 }
 

@@ -43,6 +43,26 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
                            const std::vector<StratifiedSample>& samples,
                            const Query& query, const EstimatorOptions& opts);
 
+/// Fused multi-aggregate query processing: ONE MCF walk and ONE scan of
+/// each partial leaf's sample produce SUM, COUNT and AVG together, with
+/// the exactly computed Cov(SUM, COUNT). The walk skips the AVG-only
+/// zero-variance rule so all three aggregates share a frontier — which is
+/// what makes the SUM and COUNT answers bit-identical to per-aggregate
+/// AnswerWithTree calls and the covariance exact. AVG is the ratio of the
+/// fused SUM/COUNT with the delta-method variance over that covariance.
+///
+/// The fused AVG is *always* this ratio estimator — the mergeable
+/// sampling-algebra form, and the only one a covariance is meaningful
+/// for. EstimatorOptions::avg_mode applies to the per-aggregate
+/// AnswerWithTree path only: under AvgMode::kPaperWeights, Answer(kAvg)
+/// and the fused avg are different estimators by design (exactly as the
+/// sharded AVG merge has always been ratio-combined regardless of the
+/// per-shard mode).
+MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                const Rect& predicate,
+                                const EstimatorOptions& opts);
+
 /// Per-stratum moments used by SUM/COUNT estimation; exposed for reuse by
 /// baselines (stratified sampling shares the math).
 struct StratumEstimate {

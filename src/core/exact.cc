@@ -6,20 +6,27 @@
 #include "common/macros.h"
 
 namespace pass {
+namespace {
 
-ExactResult ExactAnswer(const Dataset& data, const Query& query) {
-  const size_t d = data.NumPredDims();
-  PASS_CHECK_MSG(query.predicate.NumDims() == d,
-                 "query dimensionality must match the dataset");
-  ExactResult out;
+/// The moments one full scan yields; both public entry points share it so
+/// their matched/sum arithmetic can never diverge.
+struct ScanMoments {
+  uint64_t matched = 0;
   double sum = 0.0;
-  double mn = std::numeric_limits<double>::infinity();
-  double mx = -std::numeric_limits<double>::infinity();
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+ScanMoments ScanRows(const Dataset& data, const Rect& predicate) {
+  const size_t d = data.NumPredDims();
+  PASS_CHECK_MSG(predicate.NumDims() == d,
+                 "query dimensionality must match the dataset");
+  ScanMoments out;
   const size_t n = data.NumRows();
   for (size_t row = 0; row < n; ++row) {
     bool match = true;
     for (size_t dim = 0; dim < d; ++dim) {
-      if (!query.predicate.dim(dim).Contains(data.pred(dim, row))) {
+      if (!predicate.dim(dim).Contains(data.pred(dim, row))) {
         match = false;
         break;
       }
@@ -27,13 +34,22 @@ ExactResult ExactAnswer(const Dataset& data, const Query& query) {
     if (!match) continue;
     ++out.matched;
     const double a = data.agg(row);
-    sum += a;
-    mn = std::min(mn, a);
-    mx = std::max(mx, a);
+    out.sum += a;
+    out.min = std::min(out.min, a);
+    out.max = std::max(out.max, a);
   }
+  return out;
+}
+
+}  // namespace
+
+ExactResult ExactAnswer(const Dataset& data, const Query& query) {
+  const ScanMoments m = ScanRows(data, query.predicate);
+  ExactResult out;
+  out.matched = m.matched;
   switch (query.agg) {
     case AggregateType::kSum:
-      out.value = sum;
+      out.value = m.sum;
       break;
     case AggregateType::kCount:
       out.value = static_cast<double>(out.matched);
@@ -41,19 +57,30 @@ ExactResult ExactAnswer(const Dataset& data, const Query& query) {
     case AggregateType::kAvg:
       out.value = out.matched == 0
                       ? std::numeric_limits<double>::quiet_NaN()
-                      : sum / static_cast<double>(out.matched);
+                      : m.sum / static_cast<double>(out.matched);
       break;
     case AggregateType::kMin:
       out.value = out.matched == 0
                       ? std::numeric_limits<double>::quiet_NaN()
-                      : mn;
+                      : m.min;
       break;
     case AggregateType::kMax:
       out.value = out.matched == 0
                       ? std::numeric_limits<double>::quiet_NaN()
-                      : mx;
+                      : m.max;
       break;
   }
+  return out;
+}
+
+ExactMultiResult ExactMultiAnswer(const Dataset& data,
+                                  const Rect& predicate) {
+  const ScanMoments m = ScanRows(data, predicate);
+  ExactMultiResult out;
+  out.sum = m.sum;
+  out.matched = m.matched;
+  out.avg = m.matched == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : m.sum / static_cast<double>(m.matched);
   return out;
 }
 

@@ -35,6 +35,17 @@ inline double RelativeError(double estimate, const ExactResult& truth) {
 /// the experiment harness (never on the query path of any synopsis).
 ExactResult ExactAnswer(const Dataset& data, const Query& query);
 
+/// Sum, count and average of the matching tuples from ONE scan — the fused
+/// counterpart of three per-aggregate ExactAnswer calls. `avg` is NaN when
+/// nothing matches, mirroring ExactAnswer's AVG convention.
+struct ExactMultiResult {
+  double sum = 0.0;
+  uint64_t matched = 0;
+  double avg = 0.0;
+};
+
+ExactMultiResult ExactMultiAnswer(const Dataset& data, const Rect& predicate);
+
 }  // namespace pass
 
 #endif  // PASS_CORE_EXACT_H_

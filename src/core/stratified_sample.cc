@@ -1,11 +1,47 @@
 #include "core/stratified_sample.h"
 
 #include <algorithm>
+#include <atomic>
+#include <forward_list>
+#include <mutex>
 
 namespace pass {
+namespace {
+
+// Scan-call accounting stays off the shared cache line: each thread
+// increments its own counter (one uncontended relaxed add per leaf scan)
+// and TotalScanCalls sums them. Counters outlive their threads so the
+// total is monotone; the list is static storage, not a leak.
+std::mutex g_scan_counter_mu;
+
+std::forward_list<std::atomic<uint64_t>>& ScanCounters() {
+  static std::forward_list<std::atomic<uint64_t>> counters;
+  return counters;
+}
+
+std::atomic<uint64_t>& LocalScanCounter() {
+  thread_local std::atomic<uint64_t>* counter = [] {
+    const std::lock_guard<std::mutex> lock(g_scan_counter_mu);
+    ScanCounters().emplace_front(0);
+    return &ScanCounters().front();
+  }();
+  return *counter;
+}
+
+}  // namespace
+
+uint64_t StratifiedSample::TotalScanCalls() {
+  const std::lock_guard<std::mutex> lock(g_scan_counter_mu);
+  uint64_t total = 0;
+  for (const auto& count : ScanCounters()) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
 
 StratifiedSample::ScanResult StratifiedSample::Scan(const Rect& query) const {
   PASS_DCHECK(query.NumDims() == preds_.size());
+  LocalScanCounter().fetch_add(1, std::memory_order_relaxed);
   ScanResult out;
   const size_t n = agg_.size();
   const size_t d = preds_.size();

@@ -65,6 +65,12 @@ class StratifiedSample {
 
   ScanResult Scan(const Rect& query) const;
 
+  /// Process-wide count of Scan() invocations. Each thread bumps its own
+  /// counter (no shared cache line on the hot scan loop); reads aggregate
+  /// them. Lets tests assert that a query's reported work equals the
+  /// scans actually performed.
+  static uint64_t TotalScanCalls();
+
   /// Bytes of sample payload (storage accounting for BSS bounds).
   size_t SizeBytes() const {
     return (preds_.size() + 1) * agg_.size() * sizeof(double);

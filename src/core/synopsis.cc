@@ -21,6 +21,10 @@ QueryAnswer Synopsis::Answer(const Query& query) const {
   return AnswerWithTree(tree_, samples_, query, options_);
 }
 
+MultiAnswer Synopsis::AnswerMulti(const Rect& predicate) const {
+  return MultiAnswerWithTree(tree_, samples_, predicate, options_);
+}
+
 uint64_t Synopsis::StorageBytes() const {
   // Per node: the four aggregates + sum of squares + two rectangles.
   const size_t d =

@@ -30,6 +30,9 @@ class Synopsis final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Fused: one MCF walk + one leaf-sample scan yield SUM, COUNT and AVG
+  /// with their exact cross-aggregate covariance (MultiAnswerWithTree).
+  MultiAnswer AnswerMulti(const Rect& predicate) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 

@@ -18,6 +18,28 @@ QueryAnswer ExactSystem::Answer(const Query& query) const {
   return answer;
 }
 
+MultiAnswer ExactSystem::AnswerMulti(const Rect& predicate) const {
+  const ExactMultiResult truth = ExactMultiAnswer(*data_, predicate);
+  MultiAnswer out;
+  out.fused = true;  // deterministic answers: the zero covariance is exact
+  const auto fill = [&](double value) {
+    QueryAnswer answer;
+    answer.estimate.value = value;
+    answer.estimate.variance = 0.0;
+    answer.exact = true;
+    answer.hard_lb = value;
+    answer.hard_ub = value;
+    answer.population_rows = data_->NumRows();
+    answer.sample_rows_scanned = data_->NumRows();
+    answer.matched_sample_rows = truth.matched;
+    return answer;
+  };
+  out.sum = fill(truth.sum);
+  out.count = fill(static_cast<double>(truth.matched));
+  out.avg = fill(truth.avg);
+  return out;
+}
+
 SystemCosts ExactSystem::Costs() const {
   SystemCosts costs;
   costs.build_seconds = 0.0;  // nothing is precomputed

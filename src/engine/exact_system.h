@@ -17,6 +17,8 @@ class ExactSystem final : public AqpSystem {
   explicit ExactSystem(const Dataset& data) : data_(&data) {}
 
   QueryAnswer Answer(const Query& query) const override;
+  /// Fused: SUM, COUNT and AVG from one full scan instead of three.
+  MultiAnswer AnswerMulti(const Rect& predicate) const override;
   std::string Name() const override { return "Exact"; }
   SystemCosts Costs() const override;
 

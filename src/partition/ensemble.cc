@@ -45,6 +45,10 @@ QueryAnswer SynopsisEnsemble::Answer(const Query& query) const {
   return members_[RouteIndex(query.predicate)].synopsis->Answer(query);
 }
 
+MultiAnswer SynopsisEnsemble::AnswerMulti(const Rect& predicate) const {
+  return members_[RouteIndex(predicate)].synopsis->AnswerMulti(predicate);
+}
+
 SystemCosts SynopsisEnsemble::Costs() const {
   SystemCosts total;
   for (const Member& member : members_) {

@@ -34,6 +34,9 @@ class SynopsisEnsemble final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Fused: routes by predicate (like Answer) and delegates to the chosen
+  /// member's one-walk multi-aggregate path.
+  MultiAnswer AnswerMulti(const Rect& predicate) const override;
   std::string Name() const override { return "PASS-Ensemble"; }
   SystemCosts Costs() const override;
 

@@ -25,27 +25,9 @@ QueryAnswer ShardedSynopsis::Answer(const Query& query) const {
 
   const size_t k = shards_.size();
   if (query.agg == AggregateType::kAvg) {
-    // AVG merges the per-shard SUM and COUNT estimators (the mergeable
-    // quantities); the shard's own AVG answer supplies hard bounds,
-    // diagnostics and the embedded SUM/COUNT covariance. This costs three
-    // frontier walks + scans per shard; a fused multi-aggregate estimator
-    // path would cut that to one (tracked in the ROADMAP).
-    std::vector<AvgShardParts> parts(k);
-    Query sum_query = query;
-    sum_query.agg = AggregateType::kSum;
-    Query count_query = query;
-    count_query.agg = AggregateType::kCount;
-    const auto answer_shard = [&](size_t i) {
-      parts[i].avg = shards_[i]->Answer(query);
-      parts[i].sum = shards_[i]->Answer(sum_query);
-      parts[i].count = shards_[i]->Answer(count_query);
-    };
-    if (executor_ != nullptr) {
-      executor_->ForEachShard(k, answer_shard);
-    } else {
-      for (size_t i = 0; i < k; ++i) answer_shard(i);
-    }
-    return MergeShardAvg(parts);
+    // One fused evaluation per shard (one MCF walk + one leaf scan each)
+    // carrying the exact SUM/COUNT covariance into the ratio merge.
+    return AnswerMulti(query.predicate).avg;
   }
 
   std::vector<QueryAnswer> parts(k);
@@ -58,6 +40,23 @@ QueryAnswer ShardedSynopsis::Answer(const Query& query) const {
     for (size_t i = 0; i < k; ++i) answer_shard(i);
   }
   return MergeShardAnswers(query.agg, parts);
+}
+
+MultiAnswer ShardedSynopsis::AnswerMulti(const Rect& predicate) const {
+  PASS_CHECK_MSG(!shards_.empty(), "sharded synopsis has no shards");
+  if (shards_.size() == 1) return shards_[0]->AnswerMulti(predicate);
+
+  const size_t k = shards_.size();
+  std::vector<MultiAnswer> parts(k);
+  const auto answer_shard = [&](size_t i) {
+    parts[i] = shards_[i]->AnswerMulti(predicate);
+  };
+  if (executor_ != nullptr) {
+    executor_->ForEachShard(k, answer_shard);
+  } else {
+    for (size_t i = 0; i < k; ++i) answer_shard(i);
+  }
+  return MergeShardMulti(parts);
 }
 
 SystemCosts ShardedSynopsis::Costs() const {

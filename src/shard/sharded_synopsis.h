@@ -51,6 +51,10 @@ class ShardedSynopsis final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Fused: exactly one synopsis evaluation per shard (one MCF walk + one
+  /// leaf-sample scan), merged with the exact per-shard Cov(SUM, COUNT).
+  /// The AVG path of Answer() is this merge's `avg` component.
+  MultiAnswer AnswerMulti(const Rect& predicate) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 

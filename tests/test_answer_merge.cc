@@ -1,7 +1,8 @@
 /// Direct unit tests of the mergeable-answer algebra on hand-built
 /// QueryAnswers, pinning the combination rules independently of any
 /// synopsis: additive SUM/COUNT merging, the evidence-aware MIN/MAX
-/// bound union, and the AVG ratio combination with covariance recovery.
+/// bound union, and the fused AVG ratio combination over the exact
+/// per-shard Cov(SUM, COUNT).
 
 #include "core/answer_merge.h"
 
@@ -147,62 +148,109 @@ TEST(AnswerMerge, MinWithoutAnyEvidenceUsesWeakestUpperBound) {
   EXPECT_DOUBLE_EQ(*merged.hard_ub, 25.0);
 }
 
-AvgShardParts MakeAvgParts(double sum, double var_s, double count,
-                           double var_c, double cov, double lb, double ub) {
-  AvgShardParts p;
-  p.sum = Sampled(sum, var_s, 0.0, 2.0 * sum);
-  p.count = Sampled(count, var_c, 0.0, 2.0 * count);
+/// One shard's fused multi-answer with known delta-method inputs and a
+/// directly stated (exact) Cov(SUM, COUNT).
+MultiAnswer MakeMulti(double sum, double var_s, double count, double var_c,
+                      double cov, double lb, double ub) {
+  MultiAnswer m;
+  m.sum = Sampled(sum, var_s, 0.0, 2.0 * sum);
+  m.count = Sampled(count, var_c, 0.0, 2.0 * count);
   const double r = sum / count;
   const double var_avg =
       (var_s - 2.0 * r * cov + r * r * var_c) / (count * count);
-  p.avg = Sampled(r, var_avg, lb, ub);
-  return p;
+  m.avg = Sampled(r, var_avg, lb, ub);
+  m.sum_count_cov = cov;
+  m.fused = true;
+  return m;
 }
 
-TEST(AnswerMerge, AvgIsRatioWithRecoveredCovariance) {
-  // Two shards with known delta-method inputs; covariances chosen within
-  // the Cauchy-Schwarz range so recovery is exact.
-  const AvgShardParts a = MakeAvgParts(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
-  const AvgShardParts b = MakeAvgParts(80.0, 9.0, 40.0, 1.0, 2.0, 1.0, 3.0);
-  const QueryAnswer merged = MergeShardAvg({a, b});
+TEST(AnswerMerge, MultiAvgIsRatioWithExactCovariance) {
+  const MultiAnswer a = MakeMulti(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
+  const MultiAnswer b = MakeMulti(80.0, 9.0, 40.0, 1.0, 2.0, 1.0, 3.0);
+  const MultiAnswer merged = MergeShardMulti({a, b});
   const double sum = 180.0;
   const double count = 90.0;
   const double ratio = sum / count;
-  EXPECT_DOUBLE_EQ(merged.estimate.value, ratio);
+  EXPECT_TRUE(merged.fused);
+  EXPECT_DOUBLE_EQ(merged.sum.estimate.value, sum);
+  EXPECT_DOUBLE_EQ(merged.count.estimate.value, count);
+  EXPECT_DOUBLE_EQ(merged.sum_count_cov, 8.0);  // covariances add
+  EXPECT_DOUBLE_EQ(merged.avg.estimate.value, ratio);
   const double expected_var =
       (16.0 + 9.0 - 2.0 * ratio * (6.0 + 2.0) +
        ratio * ratio * (4.0 + 1.0)) /
       (count * count);
-  EXPECT_NEAR(merged.estimate.variance, expected_var, 1e-12);
+  EXPECT_NEAR(merged.avg.estimate.variance, expected_var, 1e-12);
   // AVG bounds: union of per-shard AVG ranges.
-  ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
-  EXPECT_DOUBLE_EQ(*merged.hard_lb, 1.0);
-  EXPECT_DOUBLE_EQ(*merged.hard_ub, 3.0);
+  ASSERT_TRUE(merged.avg.hard_lb && merged.avg.hard_ub);
+  EXPECT_DOUBLE_EQ(*merged.avg.hard_lb, 1.0);
+  EXPECT_DOUBLE_EQ(*merged.avg.hard_ub, 3.0);
 }
 
-TEST(AnswerMerge, AvgDropsOutOfRangeCovarianceRecovery) {
-  // A shard whose AVG variance is inconsistent with its SUM/COUNT
-  // variances (frontier mismatch): the solved covariance lands outside
-  // |cov| <= sqrt(var_s * var_c) and must be dropped, not clamped.
-  AvgShardParts bad = MakeAvgParts(100.0, 16.0, 50.0, 1.0, 0.0, 1.5, 2.5);
-  bad.avg.estimate.variance = 0.0;  // implies cov = 5 > sqrt(16 * 1) = 4
-  const QueryAnswer merged = MergeShardAvg({bad});
+// Regression against the deleted recovery hack: the merged AVG variance
+// depends only on the shards' SUM/COUNT moments and their stated
+// covariance — a garbage per-shard AVG variance (the frontier-mismatch
+// input that used to make the recovered covariance drift out of the
+// Cauchy-Schwarz range and silently drop to 0) cannot perturb it.
+TEST(AnswerMerge, MultiAvgIgnoresPerShardAvgVariance) {
+  MultiAnswer a = MakeMulti(100.0, 16.0, 50.0, 1.0, 3.0, 1.5, 2.5);
+  const MultiAnswer clean = MergeShardMulti({a});
+  a.avg.estimate.variance = 0.0;  // inconsistent with var_s/var_c/cov
+  const MultiAnswer garbled = MergeShardMulti({a});
+  EXPECT_DOUBLE_EQ(garbled.avg.estimate.variance,
+                   clean.avg.estimate.variance);
   const double ratio = 2.0;
-  // cov = 0 -> plain delta method without the cross term.
   const double expected_var =
-      (16.0 + ratio * ratio * 1.0) / (50.0 * 50.0);
-  EXPECT_NEAR(merged.estimate.variance, expected_var, 1e-12);
+      (16.0 - 2.0 * ratio * 3.0 + ratio * ratio * 1.0) / (50.0 * 50.0);
+  EXPECT_NEAR(clean.avg.estimate.variance, expected_var, 1e-12);
 }
 
-TEST(AnswerMerge, AvgWithNoCountFallsBackToBoundsMidpoint) {
-  AvgShardParts p;
-  p.avg = IntersectingNoEvidence(2.0, 6.0);
-  p.sum = IntersectingNoEvidence(0.0, 0.0);
-  p.sum.estimate = {0.0, 0.0};
-  p.count = p.sum;
-  const QueryAnswer merged = MergeShardAvg({p});
-  EXPECT_DOUBLE_EQ(merged.estimate.value, 4.0);  // midpoint of [2, 6]
-  EXPECT_GT(merged.estimate.variance, 0.0);
+TEST(AnswerMerge, MultiSumCountMergeLikeMergeShardAnswers) {
+  const MultiAnswer a = MakeMulti(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
+  const MultiAnswer b = MakeMulti(80.0, 9.0, 40.0, 1.0, 2.0, 1.0, 3.0);
+  const MultiAnswer merged = MergeShardMulti({a, b});
+  const QueryAnswer sum_only =
+      MergeShardAnswers(AggregateType::kSum, {a.sum, b.sum});
+  EXPECT_DOUBLE_EQ(merged.sum.estimate.value, sum_only.estimate.value);
+  EXPECT_DOUBLE_EQ(merged.sum.estimate.variance, sum_only.estimate.variance);
+  const QueryAnswer count_only =
+      MergeShardAnswers(AggregateType::kCount, {a.count, b.count});
+  EXPECT_DOUBLE_EQ(merged.count.estimate.value, count_only.estimate.value);
+  EXPECT_DOUBLE_EQ(merged.count.estimate.variance,
+                   count_only.estimate.variance);
+}
+
+TEST(AnswerMerge, MultiNonFusedPartDemotesTheMerge) {
+  const MultiAnswer a = MakeMulti(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
+  MultiAnswer fallback = MakeMulti(80.0, 9.0, 40.0, 1.0, 0.0, 1.0, 3.0);
+  fallback.fused = false;  // per-aggregate fallback: covariance unknown
+  const MultiAnswer merged = MergeShardMulti({a, fallback});
+  EXPECT_FALSE(merged.fused);
+  EXPECT_DOUBLE_EQ(merged.sum_count_cov, 6.0);  // only the exact part
+}
+
+TEST(AnswerMerge, MultiAvgWithNoCountFallsBackToBoundsMidpoint) {
+  MultiAnswer m;
+  m.avg = IntersectingNoEvidence(2.0, 6.0);
+  m.sum = IntersectingNoEvidence(0.0, 0.0);
+  m.sum.estimate = {0.0, 0.0};
+  m.count = m.sum;
+  m.fused = true;
+  const MultiAnswer merged = MergeShardMulti({m});
+  EXPECT_DOUBLE_EQ(merged.avg.estimate.value, 4.0);  // midpoint of [2, 6]
+  EXPECT_GT(merged.avg.estimate.variance, 0.0);
+}
+
+// Diagnostics of the merged AVG reflect one fused evaluation per shard:
+// identical to the merged SUM diagnostics, never a triple of them.
+TEST(AnswerMerge, MultiAvgDiagnosticsCountOneEvaluationPerShard) {
+  const MultiAnswer a = MakeMulti(100.0, 16.0, 50.0, 4.0, 6.0, 1.5, 2.5);
+  const MultiAnswer b = MakeMulti(80.0, 9.0, 40.0, 1.0, 2.0, 1.0, 3.0);
+  const MultiAnswer merged = MergeShardMulti({a, b});
+  EXPECT_EQ(merged.avg.sample_rows_scanned, merged.sum.sample_rows_scanned);
+  EXPECT_EQ(merged.avg.nodes_visited, merged.sum.nodes_visited);
+  EXPECT_EQ(merged.avg.partial_leaves, merged.sum.partial_leaves);
+  EXPECT_EQ(merged.avg.sample_rows_scanned, 20u);  // 10 per shard, once
 }
 
 }  // namespace
