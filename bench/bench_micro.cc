@@ -39,6 +39,10 @@ struct MethodRow {
   /// Kept separate from qps_sequential (batch wall-clock throughput) so
   /// the two are never compared under one key in the artifact.
   double ops_per_sec = 0.0;
+  /// Anytime-sweep rows only: median CI half-width (lambda = 2.576) of the
+  /// SUM answers at this budget level — the accuracy axis of the
+  /// latency-vs-width trade the budget buys. 0 elsewhere.
+  double median_ci_width = 0.0;
   size_t parallel_threads = 1;
 };
 
@@ -89,12 +93,12 @@ void WriteJson(const std::string& path, const std::vector<MethodRow>& rows) {
                  "\"p95_latency_ms\": %.6f, \"median_rel_error\": %.6g, "
                  "\"p95_rel_error\": %.6g, \"qps_sequential\": %.1f, "
                  "\"qps_parallel\": %.1f, \"ops_per_sec\": %.1f, "
-                 "\"parallel_threads\": %zu}%s\n",
+                 "\"median_ci_width\": %.6g, \"parallel_threads\": %zu}%s\n",
                  r.method.c_str(), r.build_seconds,
                  static_cast<unsigned long long>(r.storage_bytes),
                  r.p50_latency_ms, r.p95_latency_ms, r.median_rel_error,
                  r.p95_rel_error, r.qps_sequential, r.qps_parallel,
-                 r.ops_per_sec, r.parallel_threads,
+                 r.ops_per_sec, r.median_ci_width, r.parallel_threads,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
@@ -361,6 +365,71 @@ int main() {
   }
   std::printf("\nfused-vs-triple AVG sweep (AnswerMulti):\n");
   fused_table.Print();
+
+  // Anytime budget sweep: the same SUM workload answered through the
+  // budgeted AnswerMulti at {25, 50, 100}% of each query's plan cost, at
+  // K in {1, 4}. Tracks both axes of the anytime trade across PRs: p50
+  // latency must fall with the budget (CI asserts 25% < 100%) while the
+  // median CI half-width reports what that latency buys. Per-query plan
+  // costs come from an untimed unbudgeted warm-up pass; each timed sample
+  // repeats the call so the 25-vs-100 delta stays above clock noise.
+  TablePrinter anytime_table({"shards", "budget", "p50_ms", "p95_ms",
+                              "med_ci_width"});
+  {
+    constexpr size_t kRepeat = 4;
+    for (const size_t k : {size_t{1}, size_t{4}}) {
+      EngineConfig shard_config = config;
+      shard_config.num_shards = k;
+      // 4x the paper's sampling budget, sequential per-shard answering:
+      // the sweep measures what budgeting the scan buys, so the scan —
+      // not walk/split overhead or fan-out dispatch jitter — must carry
+      // the latency (it also makes the 25-vs-100 delta robustly visible).
+      shard_config.sample_rate = 4 * kSampleRate;
+      shard_config.shard_parallel = false;
+      const std::unique_ptr<AqpSystem> engine =
+          MustMakeEngine("sharded_pass", data, shard_config);
+      std::vector<uint64_t> plans;
+      plans.reserve(queries.size());
+      for (const Query& q : queries) {  // untimed warm-up + plan pricing
+        plans.push_back(
+            engine->AnswerMulti(q.predicate).sum.scan_units_planned);
+      }
+      for (const unsigned pct : {25u, 50u, 100u}) {
+        std::vector<double> per_ms;
+        std::vector<double> widths;
+        per_ms.reserve(queries.size());
+        widths.reserve(queries.size());
+        for (size_t i = 0; i < queries.size(); ++i) {
+          AnswerOptions options;
+          options.budget.max_scan_units = plans[i] * pct / 100;
+          options.seed = i;
+          Stopwatch timer;
+          for (size_t r = 0; r < kRepeat; ++r) {
+            (void)engine->AnswerMulti(queries[i].predicate, options);
+          }
+          per_ms.push_back(timer.ElapsedMillis() /
+                           static_cast<double>(kRepeat));
+          widths.push_back(engine->AnswerMulti(queries[i].predicate, options)
+                               .sum.estimate.HalfWidth(kLambda));
+        }
+        MethodRow row;
+        char method[32];
+        std::snprintf(method, sizeof(method), "anytime_b%u_k%zu", pct, k);
+        row.method = method;
+        row.p50_latency_ms = Quantile(per_ms, 0.5);
+        row.p95_latency_ms = Quantile(per_ms, 0.95);
+        row.median_ci_width = Quantile(widths, 0.5);
+        rows.push_back(row);
+
+        anytime_table.AddRow({std::to_string(k), std::to_string(pct) + "%",
+                              FormatDouble(row.p50_latency_ms, 4),
+                              FormatDouble(row.p95_latency_ms, 4),
+                              FormatDouble(row.median_ci_width, 6)});
+      }
+    }
+  }
+  std::printf("\nanytime budget sweep (budgeted AnswerMulti):\n");
+  anytime_table.Print();
 
   const size_t num_engines = rows.size();
 

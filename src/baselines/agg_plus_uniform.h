@@ -29,6 +29,11 @@ class AggregatePlusUniformSystem final : public AqpSystem {
                              double sample_rate, uint64_t seed,
                              EstimatorOptions options, std::string name);
 
+  // Keeps the budgeted base-class overloads (which answer in full;
+  // this system has no anytime path) visible on the concrete type.
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
+
   QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;

@@ -40,6 +40,11 @@ class SpnSystem final : public AqpSystem {
   /// COUNT/SUM/AVG supported; MIN/MAX fall back to the global extrema of
   /// the aggregate column (documented limitation — DeepDB does not target
   /// extrema either). No CLT variance: the model provides point estimates.
+  // Keeps the budgeted base-class overloads (which answer in full;
+  // this system has no anytime path) visible on the concrete type.
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
+
   QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;

@@ -21,6 +21,11 @@ class UniformSamplingSystem final : public AqpSystem {
   UniformSamplingSystem(const Dataset& data, double rate, uint64_t seed,
                         EstimatorOptions options = {});
 
+  // Keeps the budgeted base-class overloads (which answer in full;
+  // this system has no anytime path) visible on the concrete type.
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
+
   QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;

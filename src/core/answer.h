@@ -25,11 +25,21 @@ struct QueryAnswer {
   /// (the query "aligned" with the partitioning): zero error.
   bool exact = false;
 
+  /// True when a finite WorkBudget left at least one planned scan unit
+  /// unexecuted: the unscanned leaves contributed their bounds-midpoint
+  /// fallback instead of a sampled estimate, so the answer is valid but
+  /// wider than the full-budget one. Always false on the unlimited path.
+  bool truncated = false;
+
   // -- Diagnostics ----------------------------------------------------------
   uint64_t population_rows = 0;          // N of the backing dataset
   uint64_t population_rows_skipped = 0;  // rows inside skipped/covered parts
   uint64_t sample_rows_scanned = 0;      // effective sample size (ESS cost)
   uint64_t matched_sample_rows = 0;      // sampled rows satisfying the query
+  /// Total cost of the query's work plan in scan units (all partial-leaf
+  /// sample rows, scanned or not). sample_rows_scanned <= this; they are
+  /// equal exactly when the answer is not truncated.
+  uint64_t scan_units_planned = 0;
   uint32_t covered_nodes = 0;
   uint32_t partial_leaves = 0;
   uint32_t nodes_visited = 0;

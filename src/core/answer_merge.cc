@@ -31,9 +31,13 @@ void MergeDiagnostics(const std::vector<QueryAnswer>& parts,
     out->population_rows_skipped += part.population_rows_skipped;
     out->sample_rows_scanned += part.sample_rows_scanned;
     out->matched_sample_rows += part.matched_sample_rows;
+    out->scan_units_planned += part.scan_units_planned;
     out->covered_nodes += part.covered_nodes;
     out->partial_leaves += part.partial_leaves;
     out->nodes_visited += part.nodes_visited;
+    // Anytime truncation propagates: a merged answer is truncated when
+    // any shard's budget left planned scan units unexecuted.
+    out->truncated = out->truncated || part.truncated;
   }
 }
 

@@ -23,7 +23,9 @@ namespace pass {
 ///    computed within-shard Cov(SUM, COUNT) that every fused MultiAnswer
 ///    carries (covariances add across independent shards).
 ///
-/// Diagnostics (rows, skip counts, node counts) always add.
+/// Diagnostics (rows, skip counts, node counts, planned scan units) always
+/// add, and anytime truncation flags OR together: a merged answer reports
+/// `truncated` when any shard's work budget left planned units unexecuted.
 
 /// Merges per-shard answers for COUNT, SUM, MIN or MAX queries. `parts`
 /// must be non-empty and all shards must partition the same population.

@@ -6,6 +6,7 @@
 
 #include "core/answer.h"
 #include "core/query.h"
+#include "core/work_budget.h"
 
 namespace pass {
 
@@ -27,6 +28,29 @@ class AqpSystem {
   virtual std::string Name() const = 0;
   virtual SystemCosts Costs() const = 0;
 
+  /// Anytime answering: spend at most `options.budget` and fall back to
+  /// deterministic bounds for the work left undone, so any budget — down
+  /// to zero — yields a valid (wider) answer with `truncated` set. The
+  /// base implementation ignores the budget and answers in full (systems
+  /// without a resumable scan cannot truncate); synopsis-backed systems
+  /// override it and advertise so via SupportsBudget(). With an unlimited
+  /// budget every override is bit-identical to Answer(query).
+  ///
+  /// Subclasses overriding only the single-argument Answer must add
+  /// `using AqpSystem::Answer;` so this overload stays visible on the
+  /// concrete type.
+  virtual QueryAnswer Answer(const Query& query,
+                             const AnswerOptions& options) const {
+    (void)options;
+    return Answer(query);
+  }
+
+  /// True when this system implements the anytime contract (the budgeted
+  /// Answer/AnswerMulti overloads actually ration work). The scheduler
+  /// uses it to decide between truncating an overdue query and shedding
+  /// it outright.
+  virtual bool SupportsBudget() const { return false; }
+
   /// Answers SUM, COUNT and AVG over one predicate in a single call. The
   /// base implementation issues three per-aggregate Answer() calls and
   /// reports no cross-aggregate covariance (fused == false); systems that
@@ -45,6 +69,16 @@ class AqpSystem {
     q.agg = AggregateType::kAvg;
     out.avg = Answer(q);
     return out;
+  }
+
+  /// Budgeted multi-aggregate answering; the anytime counterpart of
+  /// AnswerMulti(predicate) with the same fallback contract as the
+  /// budgeted Answer overload above. Subclasses overriding only the
+  /// single-argument AnswerMulti must add `using AqpSystem::AnswerMulti;`.
+  virtual MultiAnswer AnswerMulti(const Rect& predicate,
+                                  const AnswerOptions& options) const {
+    (void)options;
+    return AnswerMulti(predicate);
   }
 };
 

@@ -1,10 +1,13 @@
 #include "core/estimator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "common/macros.h"
+#include "common/rng.h"
 #include "core/hard_bounds.h"
 
 namespace pass {
@@ -19,16 +22,21 @@ double Fpc(double n_pop, double k_samp, bool enabled) {
 
 /// One partially-overlapped leaf: its population, its sample size, and the
 /// matched-tuple moments of the single scan over its stratified sample.
+/// `scanned` is false when the work budget excluded this leaf — the
+/// estimators then use the same bounds-midpoint fallback a sample-less
+/// leaf always gets.
 struct PartialScan {
   int32_t node = -1;
   double n_pop = 0.0;
   double k_samp = 0.0;
+  bool scanned = true;
   StratifiedSample::ScanResult scan;
 };
 
-/// Everything one MCF walk plus one pass over the partial-leaf samples
-/// yields. Every aggregate estimate below is a pure function of this, so a
-/// fused SUM/COUNT/AVG answer costs exactly one of these.
+/// Everything one MCF walk plus one (possibly budget-limited) pass over
+/// the partial-leaf samples yields. Every aggregate estimate below is a
+/// pure function of this, so a fused SUM/COUNT/AVG answer costs exactly
+/// one of these.
 struct FrontierScan {
   PartitionTree::Frontier frontier;
   AggregateStats covered_stats;  // covered + 0-variance nodes merged
@@ -38,11 +46,52 @@ struct FrontierScan {
   QueryAnswer base;  // shared diagnostics; estimate and bounds left empty
 };
 
-FrontierScan ScanFrontier(const PartitionTree& tree,
-                          const std::vector<StratifiedSample>& samples,
-                          const Rect& predicate, bool use_rule) {
+/// Whether a partial leaf's sampled moments may enter an estimate. A leaf
+/// the budget skipped is treated exactly like a leaf that never had a
+/// sample: deterministic fallback instead of sampled estimation.
+bool HasScan(const PartialScan& p) { return p.scanned && p.k_samp > 0.0; }
+
+/// Selects which of the plan's units a finite budget admits: units are
+/// visited in a seed-deterministic shuffled order and greedily admitted
+/// while their whole cost still fits (partial scans of one leaf's sample
+/// would bias the stratum estimator, so a unit is all-or-nothing).
+/// Zero-cost units always execute — they do no work. Admission is a pure
+/// function of (units, cap, seed); the soft deadline is enforced later,
+/// at scan time, where the clock actually advances.
+std::vector<char> SelectUnits(const std::vector<WorkUnit>& units,
+                              const WorkBudget& budget, uint64_t seed) {
+  std::vector<char> execute(units.size(), 1);
+  if (budget.Unlimited()) return execute;
+  std::vector<size_t> order(units.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  const uint64_t cap =
+      budget.max_scan_units.value_or(std::numeric_limits<uint64_t>::max());
+  uint64_t used = 0;
+  for (const size_t i : order) {
+    const uint64_t cost = units[i].cost;
+    if (cost == 0) continue;  // free: stays admitted
+    if (used + cost <= cap) {
+      used += cost;
+    } else {
+      execute[i] = 0;
+    }
+  }
+  return execute;
+}
+
+/// The execute half: consumes a WorkPlan up to `budget`, scanning admitted
+/// units and leaving the rest to the deterministic fallback. With an
+/// unlimited budget this performs exactly the operations (in exactly the
+/// order) of the pre-split scan-everything routine, so unlimited answers
+/// are bit-identical by construction.
+FrontierScan ExecutePlan(const PartitionTree& tree,
+                         const std::vector<StratifiedSample>& samples,
+                         const Rect& predicate, WorkPlan plan,
+                         const WorkBudget& budget, uint64_t seed) {
   FrontierScan fs;
-  fs.frontier = tree.ComputeMcf(predicate, use_rule);
+  fs.frontier = std::move(plan.frontier);
 
   QueryAnswer& out = fs.base;
   out.covered_nodes = static_cast<uint32_t>(fs.frontier.covered.size() +
@@ -62,6 +111,7 @@ FrontierScan ScanFrontier(const PartitionTree& tree,
   }
   out.population_rows_skipped = out.population_rows - partial_rows;
   out.exact = fs.frontier.partial.empty() && fs.frontier.zero_var.empty();
+  out.scan_units_planned = plan.total_cost;
 
   // Exact side: merge covered aggregates; 0-variance nodes contribute their
   // constant value with their full cardinality (the paper's rule).
@@ -72,9 +122,18 @@ FrontierScan ScanFrontier(const PartitionTree& tree,
     fs.covered_stats.Merge(tree.node(id).stats);
   }
 
-  // Scan the stratified samples of partially-overlapped leaves once.
+  const std::vector<char> execute = SelectUnits(plan.units, budget, seed);
+
+  // Scan the admitted stratified samples once, in frontier order — the
+  // budget decides *which* leaves are scanned, never the accumulation
+  // order, so estimates stay reproducible across budget paths. The soft
+  // deadline is enforced right here, between unit scans (the admission
+  // pass above runs in microseconds, so only the scan loop actually
+  // watches the clock advance); once it expires, every remaining nonzero
+  // unit falls back — a unit scan is never torn.
   fs.partials.reserve(fs.frontier.partial.size());
-  for (const int32_t id : fs.frontier.partial) {
+  for (size_t u = 0; u < fs.frontier.partial.size(); ++u) {
+    const int32_t id = fs.frontier.partial[u];
     const PartitionTree::Node& n = tree.node(id);
     PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
     const StratifiedSample& sample = samples[static_cast<size_t>(n.leaf_id)];
@@ -82,21 +141,32 @@ FrontierScan ScanFrontier(const PartitionTree& tree,
     p.node = id;
     p.n_pop = static_cast<double>(n.stats.count);
     p.k_samp = static_cast<double>(sample.size());
-    p.scan = sample.Scan(predicate);
-    out.sample_rows_scanned += sample.size();
-    out.matched_sample_rows += p.scan.matched;
-    if (p.scan.matched > 0) {
-      fs.observed_min = fs.observed_min
-                            ? std::min(*fs.observed_min, p.scan.min)
-                            : p.scan.min;
-      fs.observed_max = fs.observed_max
-                            ? std::max(*fs.observed_max, p.scan.max)
-                            : p.scan.max;
+    p.scanned = execute[u] != 0;
+    if (p.scanned && sample.size() > 0 &&
+        budget.soft_deadline.has_value() &&
+        std::chrono::steady_clock::now() > *budget.soft_deadline) {
+      p.scanned = false;
+    }
+    if (p.scanned) {
+      p.scan = sample.Scan(predicate);
+      out.sample_rows_scanned += sample.size();
+      out.matched_sample_rows += p.scan.matched;
+      if (p.scan.matched > 0) {
+        fs.observed_min = fs.observed_min
+                              ? std::min(*fs.observed_min, p.scan.min)
+                              : p.scan.min;
+        fs.observed_max = fs.observed_max
+                              ? std::max(*fs.observed_max, p.scan.max)
+                              : p.scan.max;
+      }
+    } else {
+      out.truncated = true;
     }
     fs.partials.push_back(p);
   }
   return fs;
 }
+
 
 /// Hard bounds need the 0-variance nodes on the *partial* side (their
 /// matched cardinality is unknown even though their value is constant).
@@ -110,9 +180,10 @@ HardBounds BoundsFor(const PartitionTree& tree, const FrontierScan& fs,
 }
 
 /// SUM/COUNT estimate over a scanned frontier: exact covered contribution
-/// plus one stratum estimator per partial leaf. A leaf with no sample
-/// falls back to the midpoint of its deterministic contribution bounds,
-/// with the variance of a uniform distribution over that range.
+/// plus one stratum estimator per scanned partial leaf. A leaf with no
+/// sample — or one the budget left unscanned — falls back to the midpoint
+/// of its deterministic contribution bounds, with the variance of a
+/// uniform distribution over that range.
 Estimate AdditiveEstimate(const PartitionTree& tree, const FrontierScan& fs,
                           bool is_sum, bool use_fpc) {
   Estimate out;
@@ -120,7 +191,7 @@ Estimate AdditiveEstimate(const PartitionTree& tree, const FrontierScan& fs,
                         : static_cast<double>(fs.covered_stats.count);
   double variance = 0.0;
   for (const PartialScan& p : fs.partials) {
-    if (p.k_samp <= 0.0) {
+    if (!HasScan(p)) {
       const AggregateStats& s = tree.node(p.node).stats;
       const double cnt = static_cast<double>(s.count);
       double lo;
@@ -153,12 +224,13 @@ Estimate AdditiveEstimate(const PartitionTree& tree, const FrontierScan& fs,
 /// Exact Cov(SUM estimator, COUNT estimator), summed over the independent
 /// partial strata: per stratum n²·Cov_sample(φ·a, φ)/k·fpc, where
 /// E[(φa)·φ] = E[φa] because the match indicator φ is 0/1. Covered nodes
-/// are deterministic (no covariance); sample-less leaves use independent
-/// midpoint fallbacks for SUM and COUNT and contribute 0.
+/// are deterministic (no covariance); sample-less and budget-skipped
+/// leaves use independent midpoint fallbacks for SUM and COUNT and
+/// contribute 0.
 double SumCountCovariance(const FrontierScan& fs, bool use_fpc) {
   double cov = 0.0;
   for (const PartialScan& p : fs.partials) {
-    if (p.k_samp <= 0.0) continue;
+    if (!HasScan(p)) continue;
     const double k = static_cast<double>(p.scan.matched);
     const double mean_x = p.scan.sum / p.k_samp;
     const double mean_y = k / p.k_samp;
@@ -186,6 +258,24 @@ Estimate RatioEstimate(const Estimate& sum, const Estimate& count,
 
 }  // namespace
 
+WorkPlan PlanScan(const PartitionTree& tree,
+                  const std::vector<StratifiedSample>& samples,
+                  const Rect& predicate, bool zero_variance_as_covered) {
+  WorkPlan plan;
+  plan.frontier = tree.ComputeMcf(predicate, zero_variance_as_covered);
+  plan.units.reserve(plan.frontier.partial.size());
+  for (const int32_t id : plan.frontier.partial) {
+    const PartitionTree::Node& n = tree.node(id);
+    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
+    WorkUnit unit;
+    unit.node = id;
+    unit.cost = samples[static_cast<size_t>(n.leaf_id)].size();
+    plan.total_cost += unit.cost;
+    plan.units.push_back(unit);
+  }
+  return plan;
+}
+
 StratumEstimate EstimateStratumSum(double n_pop, double k_samp, double s,
                                    double ss, bool use_fpc) {
   StratumEstimate out;
@@ -202,10 +292,28 @@ StratumEstimate EstimateStratumSum(double n_pop, double k_samp, double s,
 QueryAnswer AnswerWithTree(const PartitionTree& tree,
                            const std::vector<StratifiedSample>& samples,
                            const Query& query, const EstimatorOptions& opts) {
+  return AnswerWithTree(tree, samples, query, opts, AnswerOptions{});
+}
+
+QueryAnswer AnswerWithTree(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           const Query& query, const EstimatorOptions& opts,
+                           const AnswerOptions& answer_options) {
   const bool use_rule =
       opts.zero_variance_rule && query.agg == AggregateType::kAvg;
+  return AnswerOverPlan(tree, samples,
+                        PlanScan(tree, samples, query.predicate, use_rule),
+                        query, opts, answer_options);
+}
+
+QueryAnswer AnswerOverPlan(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           WorkPlan plan, const Query& query,
+                           const EstimatorOptions& opts,
+                           const AnswerOptions& answer_options) {
   const FrontierScan fs =
-      ScanFrontier(tree, samples, query.predicate, use_rule);
+      ExecutePlan(tree, samples, query.predicate, std::move(plan),
+                  answer_options.budget, answer_options.seed);
 
   QueryAnswer out = fs.base;
   HardBounds hard;
@@ -237,7 +345,9 @@ QueryAnswer AnswerWithTree(const PartitionTree& tree,
             sum, count, SumCountCovariance(fs, opts.use_fpc), hard);
       } else {
         // Paper weights: relevant partitions are the covered + 0-variance
-        // nodes and the partial leaves with at least one matched sample.
+        // nodes and the partial leaves with at least one matched sample
+        // (budget-skipped leaves behave like no-match leaves and drop out
+        // of the weights).
         double n_q = static_cast<double>(fs.covered_stats.count);
         for (const PartialScan& p : fs.partials) {
           if (p.scan.matched > 0) n_q += p.n_pop;
@@ -297,11 +407,31 @@ MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
                                 const std::vector<StratifiedSample>& samples,
                                 const Rect& predicate,
                                 const EstimatorOptions& opts) {
+  return MultiAnswerWithTree(tree, samples, predicate, opts, AnswerOptions{});
+}
+
+MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                const Rect& predicate,
+                                const EstimatorOptions& opts,
+                                const AnswerOptions& answer_options) {
   // One walk without the AVG-only zero-variance rule: the frontier is the
   // one the per-aggregate SUM/COUNT paths use, so their estimates stay
   // bit-identical, and a shared frontier is what makes the directly
   // computed Cov(SUM, COUNT) exact for the AVG delta method.
-  const FrontierScan fs = ScanFrontier(tree, samples, predicate, false);
+  return MultiAnswerOverPlan(tree, samples,
+                             PlanScan(tree, samples, predicate, false),
+                             predicate, opts, answer_options);
+}
+
+MultiAnswer MultiAnswerOverPlan(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                WorkPlan plan, const Rect& predicate,
+                                const EstimatorOptions& opts,
+                                const AnswerOptions& answer_options) {
+  const FrontierScan fs =
+      ExecutePlan(tree, samples, predicate, std::move(plan),
+                  answer_options.budget, answer_options.seed);
 
   MultiAnswer out;
   out.fused = true;

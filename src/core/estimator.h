@@ -1,12 +1,14 @@
 #ifndef PASS_CORE_ESTIMATOR_H_
 #define PASS_CORE_ESTIMATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/answer.h"
 #include "core/partition_tree.h"
 #include "core/query.h"
 #include "core/stratified_sample.h"
+#include "core/work_budget.h"
 #include "stats/confidence.h"
 
 namespace pass {
@@ -33,6 +35,34 @@ struct EstimatorOptions {
   bool compute_hard_bounds = true;
 };
 
+/// One schedulable piece of a query's sampled work: the stratified sample
+/// of one partially-overlapped leaf, costed in scan units (= sample rows).
+/// Zero-cost units (empty samples) always "execute" — their estimate is the
+/// bounds-midpoint fallback either way.
+struct WorkUnit {
+  int32_t node = -1;  // partition-tree node id of the partial leaf
+  uint64_t cost = 0;  // scan units = rows in the leaf's sample
+};
+
+/// The plan half of the estimation pipeline: everything the MCF walk
+/// determines *before* any sample row is touched. Enumerates the partial
+/// leaves as costed scan units so a serving layer can price a query
+/// (total_cost), split a budget across shards proportionally, or decide to
+/// answer from bounds alone — all without paying for a scan.
+struct WorkPlan {
+  PartitionTree::Frontier frontier;
+  std::vector<WorkUnit> units;  // one per frontier.partial, same order
+  uint64_t total_cost = 0;      // sum of unit costs
+};
+
+/// Runs the MCF walk and enumerates the partial-leaf scan units. This is
+/// the cheap half of what used to be one fused scan-everything routine; an
+/// executor (inside the budgeted entry points below) consumes the plan's
+/// units up to a WorkBudget.
+WorkPlan PlanScan(const PartitionTree& tree,
+                  const std::vector<StratifiedSample>& samples,
+                  const Rect& predicate, bool zero_variance_as_covered);
+
 /// Full PASS query processing (Section 3.3): MCF index lookup, exact
 /// partial aggregation over covered nodes, stratified sample estimation
 /// over partially-overlapped leaves, CLT confidence interval, and
@@ -42,6 +72,32 @@ struct EstimatorOptions {
 QueryAnswer AnswerWithTree(const PartitionTree& tree,
                            const std::vector<StratifiedSample>& samples,
                            const Query& query, const EstimatorOptions& opts);
+
+/// Anytime variant: executes the query's WorkPlan only up to
+/// `answer_options.budget`, spending units in the deterministic priority
+/// order derived from `answer_options.seed`. Unscanned leaves contribute
+/// the bounds-midpoint fallback (the one sample-less leaves always used),
+/// so every budget level yields a valid answer whose interval tightens as
+/// the budget grows; `truncated` reports whether anything was left
+/// unscanned. With an unlimited budget this is bit-identical to the
+/// overload above. Under AvgMode::kPaperWeights an unscanned leaf drops
+/// out of the AVG weights exactly like a no-match leaf always has; the
+/// ratio mode (the default) keeps full population mass at every budget.
+QueryAnswer AnswerWithTree(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           const Query& query, const EstimatorOptions& opts,
+                           const AnswerOptions& answer_options);
+
+/// Same, but executes a plan the caller already computed (e.g. while
+/// pricing a budget split) instead of walking the index again. The plan
+/// must be PlanScan's result for this predicate with the rule flag this
+/// query would use — rule-OFF for everything except AVG under the
+/// zero-variance rule.
+QueryAnswer AnswerOverPlan(const PartitionTree& tree,
+                           const std::vector<StratifiedSample>& samples,
+                           WorkPlan plan, const Query& query,
+                           const EstimatorOptions& opts,
+                           const AnswerOptions& answer_options);
 
 /// Fused multi-aggregate query processing: ONE MCF walk and ONE scan of
 /// each partial leaf's sample produce SUM, COUNT and AVG together, with
@@ -62,6 +118,24 @@ MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
                                 const std::vector<StratifiedSample>& samples,
                                 const Rect& predicate,
                                 const EstimatorOptions& opts);
+
+/// Anytime variant of the fused path; same budget/seed semantics as the
+/// budgeted AnswerWithTree. SUM, COUNT and AVG truncate together (they
+/// share the one frontier and the one execution set), so the fused
+/// covariance stays exact over whatever was actually scanned.
+MultiAnswer MultiAnswerWithTree(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                const Rect& predicate,
+                                const EstimatorOptions& opts,
+                                const AnswerOptions& answer_options);
+
+/// Fused path over a caller-provided plan (must be the rule-OFF PlanScan
+/// of this predicate — the frontier every fused answer uses).
+MultiAnswer MultiAnswerOverPlan(const PartitionTree& tree,
+                                const std::vector<StratifiedSample>& samples,
+                                WorkPlan plan, const Rect& predicate,
+                                const EstimatorOptions& opts,
+                                const AnswerOptions& answer_options);
 
 /// Per-stratum moments used by SUM/COUNT estimation; exposed for reuse by
 /// baselines (stratified sampling shares the math).

@@ -33,6 +33,12 @@ inline double RelativeError(double estimate, const ExactResult& truth) {
 
 /// Scans the entire dataset. Used for ground truth in tests, benchmarks and
 /// the experiment harness (never on the query path of any synopsis).
+///
+/// Deliberately outside the anytime/WorkBudget contract: a partially
+/// executed full scan has no deterministic fallback to fall back on (there
+/// are no precomputed per-partition bounds here), so exact answering is
+/// all-or-nothing — the serving layer sheds an over-deadline exact query
+/// instead of truncating it (ExactSystem::SupportsBudget() is false).
 ExactResult ExactAnswer(const Dataset& data, const Query& query);
 
 /// Sum, count and average of the matching tuples from ONE scan — the fused

@@ -21,8 +21,46 @@ QueryAnswer Synopsis::Answer(const Query& query) const {
   return AnswerWithTree(tree_, samples_, query, options_);
 }
 
+QueryAnswer Synopsis::Answer(const Query& query,
+                             const AnswerOptions& options) const {
+  return AnswerWithTree(tree_, samples_, query, options_, options);
+}
+
 MultiAnswer Synopsis::AnswerMulti(const Rect& predicate) const {
   return MultiAnswerWithTree(tree_, samples_, predicate, options_);
+}
+
+MultiAnswer Synopsis::AnswerMulti(const Rect& predicate,
+                                  const AnswerOptions& options) const {
+  return MultiAnswerWithTree(tree_, samples_, predicate, options_, options);
+}
+
+WorkPlan Synopsis::PlanFor(const Rect& predicate) const {
+  return PlanScan(tree_, samples_, predicate, false);
+}
+
+uint64_t Synopsis::PlanScanCost(const Rect& predicate) const {
+  // Rule-OFF plan: the fused frontier, which is also what the budgeted
+  // SUM/COUNT paths execute. (The AVG-only zero-variance rule can only
+  // shrink the frontier, so this cost is an upper bound for every path.)
+  return PlanFor(predicate).total_cost;
+}
+
+QueryAnswer Synopsis::AnswerOverPlan(WorkPlan plan, const Query& query,
+                                     const AnswerOptions& options) const {
+  // A rule-OFF plan is the wrong frontier for the zero-variance-rule AVG
+  // path (callers route AVG through AnswerMultiOverPlan instead).
+  PASS_DCHECK(query.agg != AggregateType::kAvg ||
+              !options_.zero_variance_rule);
+  return pass::AnswerOverPlan(tree_, samples_, std::move(plan), query,
+                              options_, options);
+}
+
+MultiAnswer Synopsis::AnswerMultiOverPlan(WorkPlan plan,
+                                          const Rect& predicate,
+                                          const AnswerOptions& options) const {
+  return MultiAnswerOverPlan(tree_, samples_, std::move(plan), predicate,
+                             options_, options);
 }
 
 uint64_t Synopsis::StorageBytes() const {

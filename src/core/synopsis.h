@@ -30,11 +30,41 @@ class Synopsis final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Anytime: spends at most `options.budget` scan units, in the
+  /// seed-deterministic priority order; skipped leaves fall back to their
+  /// bounds midpoint. Bit-identical to Answer(query) when unlimited.
+  QueryAnswer Answer(const Query& query,
+                     const AnswerOptions& options) const override;
   /// Fused: one MCF walk + one leaf-sample scan yield SUM, COUNT and AVG
   /// with their exact cross-aggregate covariance (MultiAnswerWithTree).
   MultiAnswer AnswerMulti(const Rect& predicate) const override;
+  /// Anytime fused: all three aggregates truncate together over the one
+  /// shared execution set, keeping the covariance exact at every budget.
+  MultiAnswer AnswerMulti(const Rect& predicate,
+                          const AnswerOptions& options) const override;
+  bool SupportsBudget() const override { return true; }
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
+
+  /// The rule-OFF WorkPlan of this predicate (the frontier every fused
+  /// answer and every non-AVG aggregate uses): one MCF walk, no sample
+  /// row touched. What a serving layer uses to price queries, split
+  /// budgets across shards, and then execute without a second walk.
+  WorkPlan PlanFor(const Rect& predicate) const;
+
+  /// Price of this query's sampled work in scan units
+  /// (= PlanFor(predicate).total_cost).
+  uint64_t PlanScanCost(const Rect& predicate) const;
+
+  /// Budgeted answering over a plan the caller already computed with
+  /// PlanFor — skips the second MCF walk the budgeted shard fan-out
+  /// would otherwise pay. AnswerOverPlan is only valid for aggregates
+  /// that use the rule-OFF frontier (everything except AVG under the
+  /// zero-variance rule; route AVG through AnswerMultiOverPlan).
+  QueryAnswer AnswerOverPlan(WorkPlan plan, const Query& query,
+                             const AnswerOptions& options) const;
+  MultiAnswer AnswerMultiOverPlan(WorkPlan plan, const Rect& predicate,
+                                  const AnswerOptions& options) const;
 
   // --- Introspection --------------------------------------------------------
   const PartitionTree& tree() const { return tree_; }

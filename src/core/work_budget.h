@@ -1,0 +1,56 @@
+#ifndef PASS_CORE_WORK_BUDGET_H_
+#define PASS_CORE_WORK_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace pass {
+
+/// How much work an anytime answer may spend. The unit of account is one
+/// *scan unit* = one sample row in a partially-overlapped leaf's stratified
+/// sample — the only per-query data access a synopsis performs, and hence
+/// the quantity a serving deadline has to ration. Precomputed-aggregate
+/// work (the MCF walk, covered-node merging, hard bounds) is O(gamma log B)
+/// bookkeeping and is never budgeted.
+///
+/// An unlimited budget (both fields empty, the default) is a contract, not
+/// a hint: every estimator in this repository answers bit-identically to
+/// the pre-budget code path when the budget is unlimited.
+struct WorkBudget {
+  /// Maximum scan units to spend. A partial leaf is scanned only when its
+  /// whole sample still fits into the remaining allowance (per-leaf
+  /// estimators need the full stratum sample to stay unbiased); leaves
+  /// left unscanned fall back to their deterministic bounds-midpoint
+  /// contribution, so *every* value — including 0 — yields a valid, wider
+  /// answer. Empty = no unit cap.
+  std::optional<uint64_t> max_scan_units;
+
+  /// Soft wall-clock cutoff on the monotonic clock: checked between scan
+  /// units, never mid-scan. Unlike max_scan_units this makes the answer
+  /// timing-dependent (hence "soft"); budgets that must be reproducible
+  /// use max_scan_units alone.
+  std::optional<std::chrono::steady_clock::time_point> soft_deadline;
+
+  bool Unlimited() const {
+    return !max_scan_units.has_value() && !soft_deadline.has_value();
+  }
+};
+
+/// Per-answer knobs threaded from the serving layer down through shards and
+/// ensemble routing into the estimator. Default-constructed options are the
+/// identity: all existing call sites behave bit-identically.
+struct AnswerOptions {
+  WorkBudget budget;
+
+  /// Seed for the deterministic priority order in which a finite budget is
+  /// spent across a query's scan units (so truncation does not
+  /// systematically favor tree-order leaves). Two answers with the same
+  /// budget and seed are bit-identical; the scheduler derives it from the
+  /// admission ticket.
+  uint64_t seed = 0;
+};
+
+}  // namespace pass
+
+#endif  // PASS_CORE_WORK_BUDGET_H_

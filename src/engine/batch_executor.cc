@@ -13,7 +13,7 @@
 namespace pass {
 
 BatchExecutor::BatchExecutor(size_t num_threads)
-    : scheduler_(SchedulerOptions{num_threads, /*max_in_flight=*/0}) {}
+    : scheduler_(SchedulerOptions{num_threads, /*max_in_flight=*/0, {}}) {}
 
 BatchExecutor& BatchExecutor::Shared(size_t num_threads) {
   // Normalize before keying the cache so Shared(0) and an explicit

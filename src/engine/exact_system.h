@@ -12,9 +12,17 @@ namespace pass {
 /// registry (and anything batch-shaped built on it) can treat "no
 /// approximation" as just another method. The dataset must outlive the
 /// system; nothing is copied.
+///
+/// Not an anytime system (SupportsBudget() stays false): a full scan has
+/// no bounds-midpoint fallback for skipped work, so the budgeted overloads
+/// inherit the base behavior — answer in full, never truncate — and the
+/// scheduler sheds an over-deadline exact query rather than budgeting it.
 class ExactSystem final : public AqpSystem {
  public:
   explicit ExactSystem(const Dataset& data) : data_(&data) {}
+
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
 
   QueryAnswer Answer(const Query& query) const override;
   /// Fused: SUM, COUNT and AVG from one full scan instead of three.

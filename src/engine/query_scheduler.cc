@@ -1,5 +1,7 @@
 #include "engine/query_scheduler.h"
 
+#include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -34,10 +36,13 @@ struct QueryScheduler::Task {
 };
 
 QueryScheduler::QueryScheduler(const SchedulerOptions& options)
-    : max_in_flight_(options.max_in_flight), pool_(options.num_threads) {}
+    : max_in_flight_(options.max_in_flight),
+      calibration_(options.calibration),
+      unit_cost_ms_(options.calibration.initial_unit_cost_ms),
+      pool_(options.num_threads) {}
 
 QueryScheduler::QueryScheduler(size_t num_threads)
-    : QueryScheduler(SchedulerOptions{num_threads, /*max_in_flight=*/0}) {}
+    : QueryScheduler(SchedulerOptions{num_threads, /*max_in_flight=*/0, {}}) {}
 
 QueryScheduler::~QueryScheduler() { Shutdown(); }
 
@@ -124,6 +129,31 @@ std::future<ScheduledAnswer> QueryScheduler::SubmitInternal(
   return future;
 }
 
+namespace {
+
+/// Observations from runs that scanned fewer units than this are ignored:
+/// run_ms includes the fixed per-query overhead (MCF walk, split, merge),
+/// so a small-unit run reports a per-unit cost inflated by orders of
+/// magnitude. Feeding those back would ratchet the EWMA upward and shrink
+/// every later grant — a positive feedback that collapses sustained
+/// tight-deadline traffic to zero-budget answers. Above this many units
+/// the fixed overhead amortizes into the noise.
+constexpr uint64_t kMinUnitsToCalibrate = 64;
+
+}  // namespace
+
+double QueryScheduler::CalibratedUnitCostMs() const {
+  std::lock_guard<std::mutex> lock(calibration_mu_);
+  return unit_cost_ms_;
+}
+
+void QueryScheduler::ObserveUnitCost(double run_ms, uint64_t units) {
+  if (units < kMinUnitsToCalibrate || !(run_ms > 0.0)) return;
+  const double observed = run_ms / static_cast<double>(units);
+  std::lock_guard<std::mutex> lock(calibration_mu_);
+  unit_cost_ms_ += calibration_.ewma_alpha * (observed - unit_cost_ms_);
+}
+
 void QueryScheduler::RunTask(Task* raw) {
   std::unique_ptr<Task> task(raw);
   const SteadyClock::time_point dispatched = SteadyClock::now();
@@ -131,15 +161,54 @@ void QueryScheduler::RunTask(Task* raw) {
   ScheduledAnswer result;
   result.ticket = task->ticket;
   result.queue_ms = MillisBetween(task->admitted, dispatched);
-  if (task->deadline && dispatched > *task->deadline) {
-    // Expired while queued: the query is never run, so an overloaded
-    // scheduler sheds the work itself, not just the answer.
+  const bool anytime = task->deadline && task->system->SupportsBudget();
+  if (task->deadline && dispatched > *task->deadline && !anytime) {
+    // Expired while queued on a system that cannot truncate: the query is
+    // never run, so an overloaded scheduler sheds the work itself, not
+    // just the answer.
     result.status = Status::DeadlineExceeded(
         "deadline expired before the query was dispatched");
+  } else if (anytime) {
+    // Deadline-to-budget conversion: grant whatever the remaining time
+    // buys at the calibrated per-unit cost (zero for a query that expired
+    // in the queue — it still gets the pure bounds-midpoint answer), with
+    // the deadline itself as the soft cutoff against miscalibration.
+    AnswerOptions options;
+    uint64_t granted = 0;
+    if (dispatched < *task->deadline) {
+      const double remaining_ms = MillisBetween(dispatched, *task->deadline);
+      // Floor the learned cost at 1ns/unit so a degenerate calibration
+      // (zero initial cost, runaway alpha) cannot blow the quotient up,
+      // and saturate the double->uint64_t conversion: casting a value
+      // beyond the target range is UB (UBSan float-cast-overflow).
+      const double unit_cost_ms = std::max(CalibratedUnitCostMs(), 1e-6);
+      const double raw =
+          remaining_ms * calibration_.safety_factor / unit_cost_ms;
+      constexpr double kMaxGrant = 9e18;  // < 2^63, safely castable
+      granted = static_cast<uint64_t>(std::min(std::max(raw, 0.0),
+                                               kMaxGrant));
+      options.budget.soft_deadline = *task->deadline;
+    }
+    options.budget.max_scan_units = granted;
+    // Any scheduler-level randomness must derive from the ticket (see
+    // ScheduledAnswer::ticket): here, the budget's spend-priority seed.
+    options.seed = task->ticket;
+    const SteadyClock::time_point started = SteadyClock::now();
+    result.answer = task->system->Answer(task->query, options);
+    result.run_ms = MillisBetween(started, SteadyClock::now());
+    result.budget_total = granted;
+    result.budget_used = result.answer.sample_rows_scanned;
+    result.truncated = result.answer.truncated;
+    ObserveUnitCost(result.run_ms, result.budget_used);
   } else {
     const SteadyClock::time_point started = SteadyClock::now();
     result.answer = task->system->Answer(task->query);
     result.run_ms = MillisBetween(started, SteadyClock::now());
+    // Deadline-free traffic still warms the deadline-pricing EWMA (scan
+    // units consumed are reported by every budget-capable system).
+    if (task->system->SupportsBudget()) {
+      ObserveUnitCost(result.run_ms, result.answer.sample_rows_scanned);
+    }
   }
   result.total_ms = MillisBetween(task->admitted, SteadyClock::now());
 

@@ -12,17 +12,28 @@
 #include "core/answer.h"
 #include "core/aqp_system.h"
 #include "core/query.h"
+#include "engine/engine_config.h"
 #include "engine/thread_pool.h"
 
 namespace pass {
 
 /// What the scheduler resolves a submission with. `answer` is meaningful
 /// iff `status.ok()`; otherwise the query was never run (it expired in the
-/// queue or was rejected at shutdown) and the timing fields describe only
-/// the time it spent waiting.
+/// queue on a non-anytime system, or was rejected at shutdown) and the
+/// timing fields describe only the time it spent waiting.
 struct ScheduledAnswer {
   Status status;       // Ok | kDeadlineExceeded | kUnavailable
   QueryAnswer answer;  // valid iff status.ok()
+
+  /// Anytime accounting, meaningful only for deadline submissions to
+  /// budget-capable systems (zero otherwise): the scan-unit budget the
+  /// scheduler granted at dispatch (0 for a query that expired in the
+  /// queue and was answered from bounds alone), the units the estimator
+  /// actually consumed, and whether the budget left planned work
+  /// unexecuted (the answer is then valid but wider than the full one).
+  uint64_t budget_total = 0;
+  uint64_t budget_used = 0;
+  bool truncated = false;
 
   /// Monotonically increasing admission ticket. Every submission gets a
   /// unique ticket under the admission lock, so any scheduler-level
@@ -39,12 +50,25 @@ struct ScheduledAnswer {
 /// Per-submission knobs.
 struct SubmitOptions {
   /// Relative deadline, measured on the monotonic clock from the moment
-  /// Submit admits the query. The policy is *admission-to-dispatch*: when
-  /// a worker dequeues the task after the deadline has passed, the query
-  /// is never run and the future resolves with kDeadlineExceeded. A query
-  /// that starts before its deadline always runs to completion — answers
-  /// are never truncated mid-scan, so every delivered answer is
-  /// bit-identical to the synchronous path. nullopt = no deadline.
+  /// Submit admits the query. The policy is *anytime-first*:
+  ///
+  ///  * Budget-capable systems (AqpSystem::SupportsBudget()) are never
+  ///    shed. At dispatch the remaining time is converted into a
+  ///    scan-unit WorkBudget (see BudgetCalibration); a query that
+  ///    expired while queued runs with a zero budget and returns the pure
+  ///    bounds-midpoint answer. Either way the caller gets a valid — if
+  ///    wider — answer, with `truncated`/`budget_*` reporting what was
+  ///    sacrificed. Deadline answers are therefore load-dependent; only
+  ///    deadline-free submissions carry the bit-identical-to-sync
+  ///    guarantee.
+  ///
+  ///  * Systems without an anytime path keep the PR-3 admission-to-
+  ///    dispatch policy: expired-in-queue work is shed unrun with
+  ///    kDeadlineExceeded, and a query dispatched in time always runs to
+  ///    completion (never truncated mid-scan).
+  ///
+  /// nullopt = no deadline; the query runs unbudgeted on every system and
+  /// the delivered answer is bit-identical to the synchronous path.
   std::optional<std::chrono::milliseconds> deadline;
 };
 
@@ -57,17 +81,23 @@ struct SchedulerOptions {
   /// frees or the scheduler shuts down. 0 = unbounded — what the
   /// BatchExecutor wrapper uses, since a closed batch is its own bound.
   size_t max_in_flight = 0;
+
+  /// Deadline-to-WorkBudget conversion parameters (anytime serving).
+  BudgetCalibration calibration;
 };
 
 /// The asynchronous serving core: one pool multiplexing many clients.
 /// `Submit` hands a query to the pool and immediately returns a
 /// std::future (or invokes a completion callback from the worker thread),
 /// so a server front-end can keep thousands of requests in flight with
-/// per-request deadlines while the estimators below stay bit-identical to
-/// the sequential path — every AqpSystem::Answer in this repository is
-/// const and deterministic, the work units are index-free (each resolves
-/// its own promise), and per-query seeds are derived at build time, never
-/// from scheduling order.
+/// per-request deadlines. Deadline-free answers stay bit-identical to the
+/// sequential path — every AqpSystem::Answer in this repository is const
+/// and deterministic, the work units are index-free (each resolves its own
+/// promise), and per-query seeds are derived at build time, never from
+/// scheduling order. Deadline submissions to budget-capable systems get
+/// *anytime* answers instead: the remaining time is converted into a
+/// WorkBudget at dispatch (see SubmitOptions::deadline), trading CI width
+/// for latency rather than shedding the query.
 ///
 /// Composition with the per-shard fan-out: sharded engines block inside
 /// Answer on the *separate* ParallelShardExecutor pool, so scheduler
@@ -97,6 +127,11 @@ class QueryScheduler {
 
   size_t num_threads() const { return pool_.num_threads(); }
   size_t max_in_flight() const { return max_in_flight_; }
+
+  /// Current EWMA of the per-scan-unit cost (ms per sample row) used to
+  /// price deadlines. Starts at the calibration's initial guess and learns
+  /// from every completed budget-capable query. Thread-safe.
+  double CalibratedUnitCostMs() const;
 
   /// Admitted-but-unresolved submissions right now (queued + running).
   size_t InFlight() const;
@@ -134,6 +169,7 @@ class QueryScheduler {
                                               const SubmitOptions& options,
                                               Callback done, bool want_future);
   void RunTask(Task* task);
+  void ObserveUnitCost(double run_ms, uint64_t units);
 
   mutable std::mutex mu_;
   std::condition_variable slot_free_;  // backpressure + drain wakeups
@@ -141,6 +177,13 @@ class QueryScheduler {
   uint64_t next_ticket_ = 0;
   bool shutdown_ = false;
   const size_t max_in_flight_;
+  const BudgetCalibration calibration_;
+
+  /// Deadline-pricing EWMA, shared by every worker (its own lock so the
+  /// hot admission path never contends with calibration updates).
+  mutable std::mutex calibration_mu_;
+  double unit_cost_ms_;  // guarded by calibration_mu_
+
   mutable ThreadPool pool_;  // declared last: joins before state above dies
 };
 

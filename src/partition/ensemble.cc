@@ -45,8 +45,20 @@ QueryAnswer SynopsisEnsemble::Answer(const Query& query) const {
   return members_[RouteIndex(query.predicate)].synopsis->Answer(query);
 }
 
+QueryAnswer SynopsisEnsemble::Answer(const Query& query,
+                                     const AnswerOptions& options) const {
+  return members_[RouteIndex(query.predicate)].synopsis->Answer(query,
+                                                                options);
+}
+
 MultiAnswer SynopsisEnsemble::AnswerMulti(const Rect& predicate) const {
   return members_[RouteIndex(predicate)].synopsis->AnswerMulti(predicate);
+}
+
+MultiAnswer SynopsisEnsemble::AnswerMulti(const Rect& predicate,
+                                          const AnswerOptions& options) const {
+  return members_[RouteIndex(predicate)].synopsis->AnswerMulti(predicate,
+                                                               options);
 }
 
 SystemCosts SynopsisEnsemble::Costs() const {

@@ -34,9 +34,18 @@ class SynopsisEnsemble final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Anytime: routing is budget-free (it only scores partition dims), so
+  /// the options forward unchanged to the routed member — the whole
+  /// budget is spent where the query actually runs.
+  QueryAnswer Answer(const Query& query,
+                     const AnswerOptions& options) const override;
   /// Fused: routes by predicate (like Answer) and delegates to the chosen
   /// member's one-walk multi-aggregate path.
   MultiAnswer AnswerMulti(const Rect& predicate) const override;
+  /// Anytime fused: routed, then delegated with the options unchanged.
+  MultiAnswer AnswerMulti(const Rect& predicate,
+                          const AnswerOptions& options) const override;
+  bool SupportsBudget() const override { return true; }
   std::string Name() const override { return "PASS-Ensemble"; }
   SystemCosts Costs() const override;
 

@@ -1,7 +1,9 @@
 #include "shard/sharded_synopsis.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 
 #include "core/answer_merge.h"
 
@@ -50,6 +52,141 @@ MultiAnswer ShardedSynopsis::AnswerMulti(const Rect& predicate) const {
   std::vector<MultiAnswer> parts(k);
   const auto answer_shard = [&](size_t i) {
     parts[i] = shards_[i]->AnswerMulti(predicate);
+  };
+  if (executor_ != nullptr) {
+    executor_->ForEachShard(k, answer_shard);
+  } else {
+    for (size_t i = 0; i < k; ++i) answer_shard(i);
+  }
+  return MergeShardMulti(parts);
+}
+
+namespace {
+
+/// Largest-remainder apportionment of `budget` units over `costs`; the
+/// allocations always sum to exactly `budget` (the conservation half of
+/// the anytime shard contract).
+std::vector<uint64_t> SplitUnits(const std::vector<uint64_t>& costs,
+                                 uint64_t budget) {
+  const size_t k = costs.size();
+  uint64_t total = 0;
+  for (const uint64_t cost : costs) total += cost;
+
+  std::vector<uint64_t> alloc(k, 0);
+  if (total == 0) {
+    // No shard has sampled work for this predicate: the split is moot, but
+    // conservation still holds — spread the units evenly, earliest first.
+    for (size_t i = 0; i < k; ++i) alloc[i] = budget / k;
+    for (size_t i = 0; i < budget % k; ++i) ++alloc[i];
+    return alloc;
+  }
+
+  // Largest-remainder apportionment over exact integer arithmetic:
+  // floor(budget * cost_i / total) each, then one extra unit to the
+  // largest fractional remainders (ties to earlier shards) until the
+  // allocations sum to exactly `budget`.
+  std::vector<uint64_t> remainder(k);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const unsigned __int128 exact =
+        static_cast<unsigned __int128>(budget) * costs[i];
+    alloc[i] = static_cast<uint64_t>(exact / total);
+    remainder[i] = static_cast<uint64_t>(exact % total);
+    assigned += alloc[i];
+  }
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return remainder[a] > remainder[b];
+  });
+  for (size_t i = 0; assigned < budget; i = (i + 1) % k) {
+    ++alloc[order[i]];
+    ++assigned;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+uint64_t ShardedSynopsis::PlanScanCost(const Rect& predicate) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->PlanScanCost(predicate);
+  return total;
+}
+
+std::vector<uint64_t> ShardedSynopsis::SplitBudget(const Rect& predicate,
+                                                   uint64_t budget) const {
+  PASS_CHECK_MSG(!shards_.empty(), "sharded synopsis has no shards");
+  std::vector<uint64_t> costs(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    costs[i] = shards_[i]->PlanScanCost(predicate);
+  }
+  return SplitUnits(costs, budget);
+}
+
+ShardedSynopsis::BudgetedFanOut ShardedSynopsis::PrepareBudgetedFanOut(
+    const Rect& predicate, const AnswerOptions& options) const {
+  const size_t k = shards_.size();
+  BudgetedFanOut out;
+  out.plans.reserve(k);
+  std::vector<uint64_t> costs(k);
+  for (size_t i = 0; i < k; ++i) {
+    // The one walk per shard: priced here, executed by the shard later.
+    out.plans.push_back(shards_[i]->PlanFor(predicate));
+    costs[i] = out.plans.back().total_cost;
+  }
+  std::vector<uint64_t> alloc;
+  if (options.budget.max_scan_units.has_value()) {
+    alloc = SplitUnits(costs, *options.budget.max_scan_units);
+  }
+  out.options.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (!alloc.empty()) out.options[i].budget.max_scan_units = alloc[i];
+    out.options[i].budget.soft_deadline = options.budget.soft_deadline;
+    // Decorrelated, shard-stable streams (the builder's seed convention).
+    out.options[i].seed = options.seed + i * 7919;
+  }
+  return out;
+}
+
+QueryAnswer ShardedSynopsis::Answer(const Query& query,
+                                    const AnswerOptions& options) const {
+  PASS_CHECK_MSG(!shards_.empty(), "sharded synopsis has no shards");
+  // The unlimited path must stay bit-identical to Answer(query), split
+  // overhead included (none).
+  if (options.budget.Unlimited()) return Answer(query);
+  if (shards_.size() == 1) return shards_[0]->Answer(query, options);
+  if (query.agg == AggregateType::kAvg) {
+    return AnswerMulti(query.predicate, options).avg;
+  }
+
+  const size_t k = shards_.size();
+  BudgetedFanOut fan = PrepareBudgetedFanOut(query.predicate, options);
+  std::vector<QueryAnswer> parts(k);
+  const auto answer_shard = [&](size_t i) {
+    parts[i] = shards_[i]->AnswerOverPlan(std::move(fan.plans[i]), query,
+                                          fan.options[i]);
+  };
+  if (executor_ != nullptr) {
+    executor_->ForEachShard(k, answer_shard);
+  } else {
+    for (size_t i = 0; i < k; ++i) answer_shard(i);
+  }
+  return MergeShardAnswers(query.agg, parts);
+}
+
+MultiAnswer ShardedSynopsis::AnswerMulti(const Rect& predicate,
+                                         const AnswerOptions& options) const {
+  PASS_CHECK_MSG(!shards_.empty(), "sharded synopsis has no shards");
+  if (options.budget.Unlimited()) return AnswerMulti(predicate);
+  if (shards_.size() == 1) return shards_[0]->AnswerMulti(predicate, options);
+
+  const size_t k = shards_.size();
+  BudgetedFanOut fan = PrepareBudgetedFanOut(predicate, options);
+  std::vector<MultiAnswer> parts(k);
+  const auto answer_shard = [&](size_t i) {
+    parts[i] = shards_[i]->AnswerMultiOverPlan(std::move(fan.plans[i]),
+                                               predicate, fan.options[i]);
   };
   if (executor_ != nullptr) {
     executor_->ForEachShard(k, answer_shard);

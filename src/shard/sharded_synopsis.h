@@ -51,16 +51,49 @@ class ShardedSynopsis final : public AqpSystem {
 
   // AqpSystem:
   QueryAnswer Answer(const Query& query) const override;
+  /// Anytime: a finite unit budget is split across shards proportional to
+  /// each shard's plan cost (SplitBudget below) before the per-shard
+  /// budgeted answers are merged; truncation flags OR through the merge.
+  /// Bit-identical to Answer(query) when the budget is unlimited.
+  QueryAnswer Answer(const Query& query,
+                     const AnswerOptions& options) const override;
   /// Fused: exactly one synopsis evaluation per shard (one MCF walk + one
   /// leaf-sample scan), merged with the exact per-shard Cov(SUM, COUNT).
   /// The AVG path of Answer() is this merge's `avg` component.
   MultiAnswer AnswerMulti(const Rect& predicate) const override;
+  /// Anytime fused: same budget split as the budgeted Answer overload.
+  MultiAnswer AnswerMulti(const Rect& predicate,
+                          const AnswerOptions& options) const override;
+  bool SupportsBudget() const override { return true; }
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
+
+  /// Total plan cost of this predicate across all shards, in scan units.
+  uint64_t PlanScanCost(const Rect& predicate) const;
+
+  /// Divides `budget` scan units across shards proportional to each
+  /// shard's plan cost for this predicate (largest-remainder rounding, so
+  /// the allocations always sum to exactly `budget`; ties and the
+  /// zero-cost-everywhere case split evenly, earlier shards first).
+  /// Public because conservation is part of the anytime contract tests.
+  std::vector<uint64_t> SplitBudget(const Rect& predicate,
+                                    uint64_t budget) const;
 
   void set_name(std::string name) { name_ = std::move(name); }
 
  private:
+  /// Everything a budgeted fan-out needs, priced with ONE MCF walk per
+  /// shard: each shard's WorkPlan (handed back to the shard for
+  /// execution, so the walk is never repeated) and its AnswerOptions —
+  /// split unit budget, pass-through soft deadline, decorrelated
+  /// per-shard seeds.
+  struct BudgetedFanOut {
+    std::vector<WorkPlan> plans;
+    std::vector<AnswerOptions> options;
+  };
+  BudgetedFanOut PrepareBudgetedFanOut(const Rect& predicate,
+                                       const AnswerOptions& options) const;
+
   std::vector<std::unique_ptr<Synopsis>> shards_;
   const ParallelShardExecutor* executor_ = nullptr;
   std::string name_ = "Sharded-PASS";

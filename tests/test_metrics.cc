@@ -17,6 +17,9 @@ class FakeSystem final : public AqpSystem {
   FakeSystem(const Dataset& data, double bias, double ci_frac)
       : data_(data), bias_(bias), ci_frac_(ci_frac) {}
 
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
+
   QueryAnswer Answer(const Query& query) const override {
     const ExactResult truth = ExactAnswer(data_, query);
     QueryAnswer out;

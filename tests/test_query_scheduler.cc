@@ -1,9 +1,11 @@
 /// The async serving core's contract: futures and callbacks deliver
 /// answers bit-for-bit identical to the synchronous path (for every
 /// registry engine, and for sharded engines whose per-shard fan-out nests
-/// under scheduler concurrency), deadlines shed queued work without ever
-/// truncating a running query, backpressure bounds the in-flight set, and
-/// Drain()/Shutdown() are graceful.
+/// under scheduler concurrency); deadlines convert into anytime work
+/// budgets on budget-capable engines (zero budget — pure bounds — once
+/// expired in the queue) and shed queued work only on engines without an
+/// anytime path, never truncating a running query; backpressure bounds
+/// the in-flight set; and Drain()/Shutdown() are graceful.
 
 #include "engine/query_scheduler.h"
 
@@ -26,6 +28,7 @@ namespace pass {
 namespace {
 
 using testing::ExpectAnswersBitIdentical;
+using testing::RangeQueryOnDim;
 
 std::unique_ptr<AqpSystem> MakeEngine(const Dataset& data,
                                       const std::string& name,
@@ -61,6 +64,9 @@ std::vector<Query> MixedWorkload(const Dataset& data, size_t per_agg,
 /// a query "running" or "queued" deterministically in a test.
 class BlockingSystem : public AqpSystem {
  public:
+  using AqpSystem::Answer;
+  using AqpSystem::AnswerMulti;
+
   QueryAnswer Answer(const Query&) const override {
     std::unique_lock<std::mutex> lock(mu_);
     ++entered_;
@@ -268,6 +274,102 @@ TEST(QueryScheduler, TicketsAreUniqueAndMonotonicPerSubmitter) {
 // ---------------------------------------------------------------------------
 // Deadlines
 // ---------------------------------------------------------------------------
+
+/// Anytime path: a budget-capable engine whose query expired in the queue
+/// is answered from bounds alone (zero budget) instead of shed — the
+/// PR-3 shed policy now applies only to systems without an anytime path.
+TEST(QueryScheduler, ExpiredQueuedAnytimeQueryAnswersFromBoundsAlone) {
+  BlockingSystem blocker;
+  const Dataset data = MakeIntelLike(6000, 41);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  ASSERT_TRUE(engine->SupportsBudget());
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+
+  QueryScheduler scheduler(/*num_threads=*/1);
+  auto held = scheduler.Submit(blocker, q);  // occupies the only worker
+  blocker.WaitUntilRunning(1);
+
+  SubmitOptions expired;
+  expired.deadline = std::chrono::milliseconds(0);
+  auto overdue = scheduler.Submit(*engine, q, expired);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  blocker.Release();
+
+  const ScheduledAnswer result = overdue.get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.budget_total, 0u);
+  EXPECT_EQ(result.budget_used, 0u);
+  EXPECT_EQ(result.answer.sample_rows_scanned, 0u);
+
+  // The zero-budget answer is deterministic (nothing is scanned, so the
+  // seed is moot): it must match a direct zero-budget evaluation.
+  AnswerOptions zero;
+  zero.budget.max_scan_units = 0;
+  ExpectAnswersBitIdentical(result.answer, engine->Answer(q, zero));
+  if (result.answer.partial_leaves > 0) {
+    EXPECT_TRUE(result.truncated);
+    EXPECT_TRUE(result.answer.truncated);
+  }
+  ASSERT_TRUE(held.get().status.ok());
+}
+
+/// A budget-capable query dispatched inside a generous deadline gets a
+/// finite budget large enough to do all its work: valid answer, no
+/// truncation, and the budget accounting lines up.
+TEST(QueryScheduler, DispatchedAnytimeQueryGetsFiniteBudget) {
+  const Dataset data = MakeIntelLike(6000, 43);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+  QueryScheduler scheduler(/*num_threads=*/1);
+  SubmitOptions generous;
+  generous.deadline = std::chrono::milliseconds(60'000);
+  const ScheduledAnswer result = scheduler.Submit(*engine, q, generous).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_GT(result.budget_total, 0u);
+  EXPECT_LE(result.budget_used, result.budget_total);
+  EXPECT_EQ(result.budget_used, result.answer.sample_rows_scanned);
+  EXPECT_FALSE(result.truncated);
+  // Ample budget: every planned unit ran, so the estimate matches the
+  // unbudgeted path bit for bit.
+  ExpectAnswersBitIdentical(result.answer, engine->Answer(q));
+}
+
+/// Completed budget-capable queries feed the per-unit cost EWMA the
+/// deadline-to-budget conversion is calibrated from. Calibration ignores
+/// runs that scanned too few units to amortize the fixed walk overhead,
+/// so the test engine samples heavily enough that every query clears the
+/// observation threshold.
+TEST(QueryScheduler, UnitCostCalibrationLearnsFromServedQueries) {
+  const Dataset data = MakeIntelLike(6000, 47);
+  EngineConfig config;
+  config.sample_rate = 0.2;
+  config.partitions = 8;
+  config.strategy = PartitionStrategy::kEqualDepth;
+  config.seed = 42;
+  auto engine = EngineRegistry::Global().Create("pass", data, config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+  ASSERT_GE((*engine)->Answer(q).sample_rows_scanned, 64u)
+      << "test query must clear the calibration threshold";
+
+  SchedulerOptions options;
+  options.num_threads = 2;
+  QueryScheduler scheduler(options);
+  const double initial = scheduler.CalibratedUnitCostMs();
+  EXPECT_EQ(initial, options.calibration.initial_unit_cost_ms);
+
+  std::vector<std::future<ScheduledAnswer>> futures;
+  for (size_t i = 0; i < 8; ++i) {
+    futures.push_back(scheduler.Submit(**engine, q));
+  }
+  for (auto& f : futures) ASSERT_TRUE(f.get().status.ok());
+  EXPECT_NE(scheduler.CalibratedUnitCostMs(), initial);
+  EXPECT_GT(scheduler.CalibratedUnitCostMs(), 0.0);
+}
 
 TEST(QueryScheduler, QueuedQueryPastDeadlineIsShedUnrun) {
   BlockingSystem blocker;

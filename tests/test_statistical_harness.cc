@@ -269,6 +269,79 @@ TEST(ShardedStatistical, FusedAvgNoWiderThanRecoveredCovarianceBaseline) {
       << legacy_width / static_cast<double>(kTrials);
 }
 
+// ---------------------------------------------------------------------------
+// Anytime budgets: CI width monotone in budget, coverage at every level
+// ---------------------------------------------------------------------------
+
+// The anytime acceptance bar: at budget fractions {0%, 25%, 50%, 100%} of
+// each query's plan cost, the mean CI half-width must be non-increasing in
+// the budget (more scanning can only tighten, on average — per-trial the
+// sampled variance of one leaf may exceed its midpoint fallback) and the
+// empirical coverage of the library-default 99% interval must stay >= 90%
+// at *every* level, including the pure-bounds zero-budget answer. Seeds
+// are fixed; deterministic like the rest of the suite.
+class AnytimeBudgetCoverage : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(AnytimeBudgetCoverage, WidthMonotoneAndCoverageAtEveryBudget) {
+  const EngineCase& param = GetParam();
+  const Dataset data = MakeIntelLike(20000, 139);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 1.0};
+  constexpr size_t kTrials = 40;
+  std::vector<double> mean_width(fractions.size(), 0.0);
+  std::vector<size_t> covered(fractions.size(), 0);
+  for (size_t t = 0; t < kTrials; ++t) {
+    EngineConfig config;
+    config.sample_rate = 0.05;
+    config.partitions = 16;
+    config.strategy = PartitionStrategy::kEqualDepth;
+    config.num_shards = param.num_shards;
+    config.seed = 140 + 9973 * t;
+    auto engine = EngineRegistry::Global().Create(param.name, data, config);
+    PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+    const uint64_t plan =
+        (*engine)->AnswerMulti(q.predicate).sum.scan_units_planned;
+    for (size_t f = 0; f < fractions.size(); ++f) {
+      AnswerOptions options;
+      options.budget.max_scan_units =
+          static_cast<uint64_t>(fractions[f] * static_cast<double>(plan));
+      options.seed = 1 + t;
+      const QueryAnswer a = (*engine)->Answer(q, options);
+      if (a.estimate.Contains(truth.value, kLambda99)) ++covered[f];
+      mean_width[f] += a.estimate.HalfWidth(kLambda99);
+    }
+  }
+  for (size_t f = 0; f < fractions.size(); ++f) {
+    const double coverage =
+        static_cast<double>(covered[f]) / static_cast<double>(kTrials);
+    EXPECT_GE(coverage, 0.90)
+        << "budget fraction " << fractions[f] << " under-covers";
+    mean_width[f] /= static_cast<double>(kTrials);
+    if (f > 0) {
+      EXPECT_LE(mean_width[f], mean_width[f - 1] * (1.0 + 1e-9))
+          << "mean CI half-width grew from budget fraction "
+          << fractions[f - 1] << " (" << mean_width[f - 1] << ") to "
+          << fractions[f] << " (" << mean_width[f] << ")";
+    }
+  }
+  // The full budget executes the whole plan: nothing left to tighten.
+  EXPECT_GT(mean_width[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Anytime, AnytimeBudgetCoverage,
+    ::testing::Values(EngineCase{"pass"}, EngineCase{"sharded_pass", 2},
+                      EngineCase{"sharded_pass", 4}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name +
+             (info.param.num_shards > 1
+                  ? "_k" + std::to_string(info.param.num_shards)
+                  : "");
+    });
+
 // COUNT merges across range shards, where whole shards drop out of the
 // frontier: the additive variance must still cover.
 TEST(ShardedStatistical, RangeShardedCountCoverage) {

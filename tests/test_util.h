@@ -47,10 +47,12 @@ inline void ExpectAnswersBitIdentical(const QueryAnswer& a,
     EXPECT_EQ(*a.hard_ub, *b.hard_ub);
   }
   EXPECT_EQ(a.exact, b.exact);
+  EXPECT_EQ(a.truncated, b.truncated);
   EXPECT_EQ(a.population_rows, b.population_rows);
   EXPECT_EQ(a.population_rows_skipped, b.population_rows_skipped);
   EXPECT_EQ(a.sample_rows_scanned, b.sample_rows_scanned);
   EXPECT_EQ(a.matched_sample_rows, b.matched_sample_rows);
+  EXPECT_EQ(a.scan_units_planned, b.scan_units_planned);
   EXPECT_EQ(a.covered_nodes, b.covered_nodes);
   EXPECT_EQ(a.partial_leaves, b.partial_leaves);
   EXPECT_EQ(a.nodes_visited, b.nodes_visited);
