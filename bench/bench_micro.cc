@@ -43,6 +43,10 @@ struct MethodRow {
   /// SUM answers at this budget level — the accuracy axis of the
   /// latency-vs-width trade the budget buys. 0 elsewhere.
   double median_ci_width = 0.0;
+  /// Progressive-sweep rows only: total scan units spent per query to walk
+  /// the whole budget ladder — the work axis CI asserts on (resume must
+  /// spend strictly less than restart). 0 elsewhere.
+  uint64_t scan_units = 0;
   size_t parallel_threads = 1;
 };
 
@@ -93,13 +97,15 @@ void WriteJson(const std::string& path, const std::vector<MethodRow>& rows) {
                  "\"p95_latency_ms\": %.6f, \"median_rel_error\": %.6g, "
                  "\"p95_rel_error\": %.6g, \"qps_sequential\": %.1f, "
                  "\"qps_parallel\": %.1f, \"ops_per_sec\": %.1f, "
-                 "\"median_ci_width\": %.6g, \"parallel_threads\": %zu}%s\n",
+                 "\"median_ci_width\": %.6g, \"scan_units\": %llu, "
+                 "\"parallel_threads\": %zu}%s\n",
                  r.method.c_str(), r.build_seconds,
                  static_cast<unsigned long long>(r.storage_bytes),
                  r.p50_latency_ms, r.p95_latency_ms, r.median_rel_error,
                  r.p95_rel_error, r.qps_sequential, r.qps_parallel,
-                 r.ops_per_sec, r.median_ci_width, r.parallel_threads,
-                 i + 1 < rows.size() ? "," : "");
+                 r.ops_per_sec, r.median_ci_width,
+                 static_cast<unsigned long long>(r.scan_units),
+                 r.parallel_threads, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   // A truncated artifact must fail the run, not get uploaded by CI.
@@ -430,6 +436,111 @@ int main() {
   }
   std::printf("\nanytime budget sweep (budgeted AnswerMulti):\n");
   anytime_table.Print();
+
+  // Progressive refine-vs-restart sweep: walking the {25, 50, 100}% budget
+  // ladder by resuming ONE EstimationSession (each step scans only the
+  // delta units) versus restarting a fresh budgeted AnswerMulti at every
+  // level (each step re-scans its whole prefix). Resume spends exactly
+  // plan units across the ladder; restart spends ~1.75x plan — CI asserts
+  // both axes (wall-clock at K >= 2 and scan units everywhere) so the
+  // resumable path keeps paying for itself across PRs.
+  TablePrinter progressive_table({"shards", "mode", "p50_ms", "p95_ms",
+                                  "units/query"});
+  {
+    constexpr size_t kRepeat = 4;
+    const unsigned kLadder[] = {25u, 50u, 100u};
+    for (const size_t k : {size_t{1}, size_t{2}, size_t{4}}) {
+      EngineConfig shard_config = config;
+      shard_config.num_shards = k;
+      // Same rig as the anytime sweep above: a heavier scan and
+      // sequential per-shard answering keep the resume-vs-restart delta
+      // (a pure scan-work delta) above dispatch noise.
+      shard_config.sample_rate = 4 * kSampleRate;
+      shard_config.shard_parallel = false;
+      const std::unique_ptr<AqpSystem> engine =
+          MustMakeEngine("sharded_pass", data, shard_config);
+      std::vector<uint64_t> plans;
+      plans.reserve(queries.size());
+      for (const Query& q : queries) {  // untimed warm-up + plan pricing
+        plans.push_back(
+            engine->AnswerMulti(q.predicate).sum.scan_units_planned);
+      }
+
+      std::vector<double> resume_ms;
+      std::vector<double> restart_ms;
+      resume_ms.reserve(queries.size());
+      restart_ms.reserve(queries.size());
+      uint64_t resume_units = 0;
+      uint64_t restart_units = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const Rect& predicate = queries[i].predicate;
+        {
+          Stopwatch timer;
+          for (size_t r = 0; r < kRepeat; ++r) {
+            const auto session = engine->StartSession(predicate, i);
+            for (const unsigned pct : kLadder) {
+              (void)session->AdvanceTo(plans[i] * pct / 100);
+            }
+            if (r == 0) resume_units += session->UnitsScanned();
+          }
+          resume_ms.push_back(timer.ElapsedMillis() /
+                              static_cast<double>(kRepeat));
+        }
+        {
+          Stopwatch timer;
+          for (size_t r = 0; r < kRepeat; ++r) {
+            for (const unsigned pct : kLadder) {
+              AnswerOptions options;
+              options.budget.max_scan_units = plans[i] * pct / 100;
+              options.seed = i;
+              const MultiAnswer answer =
+                  engine->AnswerMulti(predicate, options);
+              // sample_rows_scanned is the scan-unit spend of a budgeted
+              // run (== scan_units_planned when untruncated).
+              if (r == 0) restart_units += answer.sum.sample_rows_scanned;
+            }
+          }
+          restart_ms.push_back(timer.ElapsedMillis() /
+                               static_cast<double>(kRepeat));
+        }
+      }
+
+      const size_t per_query = std::max<size_t>(queries.size(), 1);
+      MethodRow resume_row;
+      char method[40];
+      std::snprintf(method, sizeof(method), "progressive_resume_k%zu", k);
+      resume_row.method = method;
+      resume_row.p50_latency_ms = Quantile(resume_ms, 0.5);
+      resume_row.p95_latency_ms = Quantile(resume_ms, 0.95);
+      resume_row.scan_units = resume_units;
+      rows.push_back(resume_row);
+
+      MethodRow restart_row;
+      std::snprintf(method, sizeof(method), "progressive_restart_k%zu", k);
+      restart_row.method = method;
+      restart_row.p50_latency_ms = Quantile(restart_ms, 0.5);
+      restart_row.p95_latency_ms = Quantile(restart_ms, 0.95);
+      restart_row.scan_units = restart_units;
+      rows.push_back(restart_row);
+
+      progressive_table.AddRow(
+          {std::to_string(k), "resume",
+           FormatDouble(resume_row.p50_latency_ms, 4),
+           FormatDouble(resume_row.p95_latency_ms, 4),
+           FormatDouble(static_cast<double>(resume_units) /
+                            static_cast<double>(per_query),
+                        6)});
+      progressive_table.AddRow(
+          {std::to_string(k), "restart",
+           FormatDouble(restart_row.p50_latency_ms, 4),
+           FormatDouble(restart_row.p95_latency_ms, 4),
+           FormatDouble(static_cast<double>(restart_units) /
+                            static_cast<double>(per_query),
+                        6)});
+    }
+  }
+  std::printf("\nprogressive refine-vs-restart sweep (EstimationSession):\n");
+  progressive_table.Print();
 
   const size_t num_engines = rows.size();
 

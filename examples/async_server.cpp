@@ -9,16 +9,20 @@
 /// back truncated-but-valid instead of shed), some are best-effort (no
 /// deadline) — and the server drains gracefully at the end. Deadline-free
 /// answers are bit-identical to the synchronous path; the tour verifies
-/// that live against a sequential replay.
+/// that live against a sequential replay, then closes with a progressive
+/// AnswerUntil demo that streams interim answers while one resumable
+/// session refines to a target CI width.
 ///
 /// Usage: async_server [rows] [clients] [queries_per_client] [shards]
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -200,6 +204,49 @@ int main(int argc, char** argv) {
   std::printf("async == sync bit-identity: %s\n",
               mismatched == 0 ? "yes (every deadline-free answer)"
                               : "NO — report a bug");
+
+  // Progressive answering tour: AnswerUntil opens one resumable
+  // estimation session and refines it through a doubling budget ladder,
+  // streaming every intermediate answer (is_final = false) through the
+  // callback until the 99% CI is tight enough. Each step scans only the
+  // delta units, so reaching the target costs no more scan work than a
+  // single run at the final budget would.
+  {
+    Query q = workloads[0][0];
+    q.agg = AggregateType::kSum;
+    // Target: a quarter looser than the full-budget interval, so the
+    // refinement usually stops a step or two before exhausting the plan.
+    const double full_width =
+        (*engine)->Answer(q).estimate.HalfWidth(kLambda99);
+    StoppingCondition until;
+    until.target_ci_width = full_width * 1.25;
+    until.min_step_units = 256;
+
+    std::printf("\nprogressive SUM (target 99%% CI half-width <= %.4g):\n",
+                until.target_ci_width);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    scheduler.AnswerUntil(
+        **engine, q, until, SubmitOptions{},
+        [&](ScheduledAnswer step) {
+          std::printf(
+              "  step %u: %s budget %llu/%llu units, estimate %.6g "
+              "(half-width %.4g)\n",
+              step.refinements, step.is_final ? "final " : "interim",
+              static_cast<unsigned long long>(step.budget_used),
+              static_cast<unsigned long long>(step.budget_total),
+              step.answer.estimate.value,
+              step.answer.estimate.HalfWidth(kLambda99));
+          if (step.is_final) {
+            std::lock_guard<std::mutex> lock(mu);
+            finished = true;
+            cv.notify_one();
+          }
+        });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return finished; });
+  }
 
   // Graceful shutdown: stop admission, run everything admitted, reject
   // stragglers with a defined status.

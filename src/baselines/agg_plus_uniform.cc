@@ -42,7 +42,9 @@ AggregatePlusUniformSystem::AggregatePlusUniformSystem(
   }
 }
 
-QueryAnswer AggregatePlusUniformSystem::Answer(const Query& query) const {
+QueryAnswer AggregatePlusUniformSystem::AnswerImpl(
+    const Query& query, const AnswerOptions& options) const {
+  (void)options;  // no anytime path: answers in full
   QueryAnswer out;
   out.population_rows = population_rows_;
   out.sample_rows_scanned = sample_.size();

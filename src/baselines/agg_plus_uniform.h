@@ -29,18 +29,18 @@ class AggregatePlusUniformSystem final : public AqpSystem {
                              double sample_rate, uint64_t seed,
                              EstimatorOptions options, std::string name);
 
-  // Keeps the budgeted base-class overloads (which answer in full;
-  // this system has no anytime path) visible on the concrete type.
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
-
-  QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 
   const PartitionTree& tree() const { return tree_; }
   size_t sample_size() const { return sample_.size(); }
   void set_build_seconds(double s) { build_seconds_ = s; }
+
+ protected:
+  /// Answers in full; this system has no anytime path, so the budget in
+  /// `options` is ignored (SupportsBudget() stays false).
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
 
  private:
   PartitionTree tree_;

@@ -353,7 +353,9 @@ SpnSystem::Eval SpnSystem::Evaluate(int32_t id, const Query& query) const {
   return {};
 }
 
-QueryAnswer SpnSystem::Answer(const Query& query) const {
+QueryAnswer SpnSystem::AnswerImpl(const Query& query,
+                                  const AnswerOptions& options) const {
+  (void)options;  // no anytime path: answers in full
   QueryAnswer out;
   out.population_rows = population_rows_;
   out.population_rows_skipped = population_rows_;  // model never scans data

@@ -37,20 +37,20 @@ class SpnSystem final : public AqpSystem {
 
   SpnSystem(const Dataset& data, const Options& options);
 
-  /// COUNT/SUM/AVG supported; MIN/MAX fall back to the global extrema of
-  /// the aggregate column (documented limitation — DeepDB does not target
-  /// extrema either). No CLT variance: the model provides point estimates.
-  // Keeps the budgeted base-class overloads (which answer in full;
-  // this system has no anytime path) visible on the concrete type.
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
-
-  QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 
   size_t NumNodes() const { return nodes_.size(); }
   void set_name(std::string name) { name_ = std::move(name); }
+
+ protected:
+  /// COUNT/SUM/AVG supported; MIN/MAX fall back to the global extrema of
+  /// the aggregate column (documented limitation — DeepDB does not target
+  /// extrema either). No CLT variance: the model provides point estimates.
+  /// Answers in full; this system has no anytime path, so the budget in
+  /// `options` is ignored (SupportsBudget() stays false).
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
 
  private:
   struct Histogram {

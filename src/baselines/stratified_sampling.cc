@@ -57,7 +57,9 @@ StratifiedSamplingSystem::StratifiedSamplingSystem(const Dataset& data,
   build_seconds_ = timer.ElapsedSeconds();
 }
 
-QueryAnswer StratifiedSamplingSystem::Answer(const Query& query) const {
+QueryAnswer StratifiedSamplingSystem::AnswerImpl(
+    const Query& query, const AnswerOptions& options) const {
+  (void)options;  // no anytime path: answers in full
   QueryAnswer out;
   out.population_rows = population_rows_;
 

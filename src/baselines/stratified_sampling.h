@@ -24,16 +24,16 @@ class StratifiedSamplingSystem final : public AqpSystem {
                            size_t dim, uint64_t seed,
                            EstimatorOptions options = {});
 
-  // Keeps the budgeted base-class overloads (which answer in full;
-  // this system has no anytime path) visible on the concrete type.
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
-
-  QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return "ST"; }
   SystemCosts Costs() const override;
 
   size_t NumStrata() const { return strata_.size(); }
+
+ protected:
+  /// Answers in full; this system has no anytime path, so the budget in
+  /// `options` is ignored (SupportsBudget() stays false).
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
 
  private:
   struct Stratum {

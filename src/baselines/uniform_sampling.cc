@@ -32,7 +32,9 @@ UniformSamplingSystem::UniformSamplingSystem(const Dataset& data, double rate,
   build_seconds_ = timer.ElapsedSeconds();
 }
 
-QueryAnswer UniformSamplingSystem::Answer(const Query& query) const {
+QueryAnswer UniformSamplingSystem::AnswerImpl(
+    const Query& query, const AnswerOptions& options) const {
+  (void)options;  // no anytime path: answers in full
   QueryAnswer out;
   out.population_rows = population_rows_;
   out.sample_rows_scanned = sample_.size();

@@ -21,17 +21,17 @@ class UniformSamplingSystem final : public AqpSystem {
   UniformSamplingSystem(const Dataset& data, double rate, uint64_t seed,
                         EstimatorOptions options = {});
 
-  // Keeps the budgeted base-class overloads (which answer in full;
-  // this system has no anytime path) visible on the concrete type.
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
-
-  QueryAnswer Answer(const Query& query) const override;
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 
   size_t sample_size() const { return sample_.size(); }
   void set_name(std::string name) { name_ = std::move(name); }
+
+ protected:
+  /// Answers in full; this system has no anytime path, so the budget in
+  /// `options` is ignored (SupportsBudget() stays false).
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
 
  private:
   StratifiedSample sample_;

@@ -2,9 +2,11 @@
 #define PASS_CORE_AQP_SYSTEM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/answer.h"
+#include "core/estimation_session.h"
 #include "core/query.h"
 #include "core/work_budget.h"
 
@@ -20,65 +22,88 @@ struct SystemCosts {
 /// Common interface every AQP approach in this repository implements (PASS
 /// and all baselines), so the experiment harness can evaluate them
 /// uniformly.
+///
+/// The query surface is one canonical entry point per shape, non-virtual,
+/// dispatching to a protected *Impl hook (the non-virtual-interface
+/// pattern). Default-constructed AnswerOptions are the identity — an
+/// unlimited budget answers in full, bit-identical to the pre-options code
+/// paths — so `Answer(query)` remains the plain synchronous call. The NVI
+/// split exists because the old design (a pure-virtual one-argument
+/// Answer plus a virtual budgeted overload) made every subclass re-export
+/// the hidden overloads with `using AqpSystem::Answer;`; forgetting that
+/// line silently compiled and dropped budgets on the floor.
 class AqpSystem {
  public:
   virtual ~AqpSystem() = default;
 
-  virtual QueryAnswer Answer(const Query& query) const = 0;
+  /// Answers one aggregate query, spending at most `options.budget` and
+  /// falling back to deterministic bounds for work left undone, so any
+  /// budget — down to zero — yields a valid (wider) answer with
+  /// `truncated` set. Systems without a resumable scan ignore the budget
+  /// and answer in full (they cannot truncate); those that ration work
+  /// advertise it via SupportsBudget().
+  QueryAnswer Answer(const Query& query,
+                     const AnswerOptions& options = {}) const {
+    return AnswerImpl(query, options);
+  }
+
+  /// Answers SUM, COUNT and AVG over one predicate in a single call, with
+  /// the same budget contract as Answer. The default implementation
+  /// issues three per-aggregate calls and reports no cross-aggregate
+  /// covariance (fused == false); systems that can produce all three from
+  /// one evaluation override AnswerMultiImpl. Fused implementations
+  /// always report AVG as the SUM/COUNT ratio estimator (the form a
+  /// covariance applies to), independent of any per-aggregate AVG mode
+  /// the system's Answer path may be configured with.
+  MultiAnswer AnswerMulti(const Rect& predicate,
+                          const AnswerOptions& options = {}) const {
+    return AnswerMultiImpl(predicate, options);
+  }
+
+  /// Opens a resumable fused estimation over `predicate` (see
+  /// core/estimation_session.h for the refinement contract), or nullptr
+  /// when this system has no resumable scan. `seed` fixes the spend-
+  /// priority order exactly like AnswerOptions::seed does, so
+  /// session->AdvanceTo(b) is bit-identical to
+  /// AnswerMulti(predicate, {.budget = {b}, .seed = seed}). The system
+  /// must outlive the session.
+  std::unique_ptr<EstimationSession> StartSession(const Rect& predicate,
+                                                  uint64_t seed = 0) const {
+    return StartSessionImpl(predicate, seed);
+  }
+
+  /// True when this system implements the anytime contract (the budget in
+  /// AnswerOptions actually rations work, and StartSession resumes it).
+  /// The scheduler uses it to decide between truncating an overdue query
+  /// and shedding it outright.
+  virtual bool SupportsBudget() const { return false; }
+
   virtual std::string Name() const = 0;
   virtual SystemCosts Costs() const = 0;
 
-  /// Anytime answering: spend at most `options.budget` and fall back to
-  /// deterministic bounds for the work left undone, so any budget — down
-  /// to zero — yields a valid (wider) answer with `truncated` set. The
-  /// base implementation ignores the budget and answers in full (systems
-  /// without a resumable scan cannot truncate); synopsis-backed systems
-  /// override it and advertise so via SupportsBudget(). With an unlimited
-  /// budget every override is bit-identical to Answer(query).
-  ///
-  /// Subclasses overriding only the single-argument Answer must add
-  /// `using AqpSystem::Answer;` so this overload stays visible on the
-  /// concrete type.
-  virtual QueryAnswer Answer(const Query& query,
-                             const AnswerOptions& options) const {
-    (void)options;
-    return Answer(query);
-  }
+ protected:
+  virtual QueryAnswer AnswerImpl(const Query& query,
+                                 const AnswerOptions& options) const = 0;
 
-  /// True when this system implements the anytime contract (the budgeted
-  /// Answer/AnswerMulti overloads actually ration work). The scheduler
-  /// uses it to decide between truncating an overdue query and shedding
-  /// it outright.
-  virtual bool SupportsBudget() const { return false; }
-
-  /// Answers SUM, COUNT and AVG over one predicate in a single call. The
-  /// base implementation issues three per-aggregate Answer() calls and
-  /// reports no cross-aggregate covariance (fused == false); systems that
-  /// can produce all three from one evaluation override it. Fused
-  /// implementations always report AVG as the SUM/COUNT ratio estimator
-  /// (the form a covariance applies to), independent of any per-aggregate
-  /// AVG mode the system's Answer() path may be configured with.
-  virtual MultiAnswer AnswerMulti(const Rect& predicate) const {
+  virtual MultiAnswer AnswerMultiImpl(const Rect& predicate,
+                                      const AnswerOptions& options) const {
     MultiAnswer out;
     Query q;
     q.predicate = predicate;
     q.agg = AggregateType::kSum;
-    out.sum = Answer(q);
+    out.sum = AnswerImpl(q, options);
     q.agg = AggregateType::kCount;
-    out.count = Answer(q);
+    out.count = AnswerImpl(q, options);
     q.agg = AggregateType::kAvg;
-    out.avg = Answer(q);
+    out.avg = AnswerImpl(q, options);
     return out;
   }
 
-  /// Budgeted multi-aggregate answering; the anytime counterpart of
-  /// AnswerMulti(predicate) with the same fallback contract as the
-  /// budgeted Answer overload above. Subclasses overriding only the
-  /// single-argument AnswerMulti must add `using AqpSystem::AnswerMulti;`.
-  virtual MultiAnswer AnswerMulti(const Rect& predicate,
-                                  const AnswerOptions& options) const {
-    (void)options;
-    return AnswerMulti(predicate);
+  virtual std::unique_ptr<EstimationSession> StartSessionImpl(
+      const Rect& predicate, uint64_t seed) const {
+    (void)predicate;
+    (void)seed;
+    return nullptr;
   }
 };
 

@@ -51,45 +51,61 @@ struct FrontierScan {
 /// sample: deterministic fallback instead of sampled estimation.
 bool HasScan(const PartialScan& p) { return p.scanned && p.k_samp > 0.0; }
 
-/// Selects which of the plan's units a finite budget admits: units are
-/// visited in a seed-deterministic shuffled order and greedily admitted
-/// while their whole cost still fits (partial scans of one leaf's sample
-/// would bias the stratum estimator, so a unit is all-or-nothing).
-/// Zero-cost units always execute — they do no work. Admission is a pure
-/// function of (units, cap, seed); the soft deadline is enforced later,
-/// at scan time, where the clock actually advances.
-std::vector<char> SelectUnits(const std::vector<WorkUnit>& units,
-                              const WorkBudget& budget, uint64_t seed) {
-  std::vector<char> execute(units.size(), 1);
-  if (budget.Unlimited()) return execute;
-  std::vector<size_t> order(units.size());
-  std::iota(order.begin(), order.end(), size_t{0});
+/// The spend-priority order of a plan's units: the explicit permutation
+/// when the plan carries one (a sharded fan-out's global-order
+/// restriction), else a seed-deterministic shuffle. One definition so the
+/// one-shot executor and the resumable session can never disagree.
+std::vector<uint32_t> SpendOrder(const WorkPlan& plan, uint64_t seed) {
+  if (!plan.priority.empty()) {
+    PASS_DCHECK(plan.priority.size() == plan.units.size());
+    return plan.priority;
+  }
+  std::vector<uint32_t> order(plan.units.size());
+  std::iota(order.begin(), order.end(), uint32_t{0});
   Rng rng(seed);
   rng.Shuffle(&order);
+  return order;
+}
+
+/// Selects which of the plan's units a finite budget admits: units are
+/// visited in the spend-priority order and admitted while their whole
+/// cost still fits (partial scans of one leaf's sample would bias the
+/// stratum estimator, so a unit is all-or-nothing); the walk STOPS at the
+/// first nonzero-cost unit that does not fit. The prefix-stop rule trades
+/// a little budget utilization for monotonicity: the admitted set at a
+/// smaller cap is always a prefix — hence a subset — of the admitted set
+/// at a larger one, which is what lets a resumable session replay the
+/// order from a checkpoint and still match a fresh run bit for bit.
+/// Zero-cost units always execute — they do no work. Admission is a pure
+/// function of (units, order, cap); the soft deadline is enforced later,
+/// at scan time, where the clock actually advances.
+std::vector<char> SelectUnits(const std::vector<WorkUnit>& units,
+                              const std::vector<uint32_t>& order,
+                              const WorkBudget& budget) {
+  std::vector<char> execute(units.size(), 1);
+  if (budget.Unlimited()) return execute;
   const uint64_t cap =
       budget.max_scan_units.value_or(std::numeric_limits<uint64_t>::max());
   uint64_t used = 0;
-  for (const size_t i : order) {
+  bool stopped = false;
+  for (const uint32_t i : order) {
     const uint64_t cost = units[i].cost;
     if (cost == 0) continue;  // free: stays admitted
-    if (used + cost <= cap) {
+    if (!stopped && used + cost <= cap) {
       used += cost;
     } else {
+      stopped = true;
       execute[i] = 0;
     }
   }
   return execute;
 }
 
-/// The execute half: consumes a WorkPlan up to `budget`, scanning admitted
-/// units and leaving the rest to the deterministic fallback. With an
-/// unlimited budget this performs exactly the operations (in exactly the
-/// order) of the pre-split scan-everything routine, so unlimited answers
-/// are bit-identical by construction.
-FrontierScan ExecutePlan(const PartitionTree& tree,
-                         const std::vector<StratifiedSample>& samples,
-                         const Rect& predicate, WorkPlan plan,
-                         const WorkBudget& budget, uint64_t seed) {
+/// The scan-free head of plan execution: frontier bookkeeping, covered
+/// aggregate merging, and one not-yet-scanned PartialScan record per
+/// partial leaf. Shared by the one-shot executor and the resumable
+/// session so both assemble answers from identical state.
+FrontierScan InitFrontierScan(const PartitionTree& tree, WorkPlan plan) {
   FrontierScan fs;
   fs.frontier = std::move(plan.frontier);
 
@@ -122,7 +138,36 @@ FrontierScan ExecutePlan(const PartitionTree& tree,
     fs.covered_stats.Merge(tree.node(id).stats);
   }
 
-  const std::vector<char> execute = SelectUnits(plan.units, budget, seed);
+  fs.partials.reserve(fs.frontier.partial.size());
+  for (const int32_t id : fs.frontier.partial) {
+    const PartitionTree::Node& n = tree.node(id);
+    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
+    PartialScan p;
+    p.node = id;
+    p.n_pop = static_cast<double>(n.stats.count);
+    p.k_samp = 0.0;  // filled below; a leaf's sample size is its unit cost
+    p.scanned = false;
+    fs.partials.push_back(p);
+  }
+  for (size_t u = 0; u < plan.units.size(); ++u) {
+    fs.partials[u].k_samp = static_cast<double>(plan.units[u].cost);
+  }
+  return fs;
+}
+
+/// The execute half: consumes a WorkPlan up to `budget`, scanning admitted
+/// units and leaving the rest to the deterministic fallback. With an
+/// unlimited budget this performs exactly the operations (in exactly the
+/// order) of the pre-split scan-everything routine, so unlimited answers
+/// are bit-identical by construction.
+FrontierScan ExecutePlan(const PartitionTree& tree,
+                         const std::vector<StratifiedSample>& samples,
+                         const Rect& predicate, WorkPlan plan,
+                         const WorkBudget& budget, uint64_t seed) {
+  const std::vector<char> execute =
+      SelectUnits(plan.units, SpendOrder(plan, seed), budget);
+  FrontierScan fs = InitFrontierScan(tree, std::move(plan));
+  QueryAnswer& out = fs.base;
 
   // Scan the admitted stratified samples once, in frontier order — the
   // budget decides *which* leaves are scanned, never the accumulation
@@ -131,16 +176,10 @@ FrontierScan ExecutePlan(const PartitionTree& tree,
   // pass above runs in microseconds, so only the scan loop actually
   // watches the clock advance); once it expires, every remaining nonzero
   // unit falls back — a unit scan is never torn.
-  fs.partials.reserve(fs.frontier.partial.size());
-  for (size_t u = 0; u < fs.frontier.partial.size(); ++u) {
-    const int32_t id = fs.frontier.partial[u];
-    const PartitionTree::Node& n = tree.node(id);
-    PASS_CHECK_MSG(n.leaf_id >= 0, "partial node is not a finalized leaf");
+  for (size_t u = 0; u < fs.partials.size(); ++u) {
+    PartialScan& p = fs.partials[u];
+    const PartitionTree::Node& n = tree.node(p.node);
     const StratifiedSample& sample = samples[static_cast<size_t>(n.leaf_id)];
-    PartialScan p;
-    p.node = id;
-    p.n_pop = static_cast<double>(n.stats.count);
-    p.k_samp = static_cast<double>(sample.size());
     p.scanned = execute[u] != 0;
     if (p.scanned && sample.size() > 0 &&
         budget.soft_deadline.has_value() &&
@@ -162,7 +201,6 @@ FrontierScan ExecutePlan(const PartitionTree& tree,
     } else {
       out.truncated = true;
     }
-    fs.partials.push_back(p);
   }
   return fs;
 }
@@ -254,6 +292,46 @@ Estimate RatioEstimate(const Estimate& sum, const Estimate& count,
       (sum.variance - 2.0 * ratio * cov + ratio * ratio * count.variance) /
       (count.value * count.value);
   return {ratio, std::max(var, 0.0)};
+}
+
+/// The fused SUM/COUNT/AVG assembly over a (possibly partially) scanned
+/// frontier — a pure function of the FrontierScan, shared by the one-shot
+/// fused path and the resumable session so their answers are the same
+/// bits whenever their scan state is.
+MultiAnswer MultiFromFrontier(const PartitionTree& tree,
+                              const FrontierScan& fs,
+                              const EstimatorOptions& opts) {
+  MultiAnswer out;
+  out.fused = true;
+  out.sum = fs.base;
+  out.count = fs.base;
+  out.avg = fs.base;
+
+  HardBounds avg_hard;
+  if (opts.compute_hard_bounds) {
+    const HardBounds sum_hard = BoundsFor(tree, fs, AggregateType::kSum);
+    if (sum_hard.valid) {
+      out.sum.hard_lb = sum_hard.lb;
+      out.sum.hard_ub = sum_hard.ub;
+    }
+    const HardBounds count_hard = BoundsFor(tree, fs, AggregateType::kCount);
+    if (count_hard.valid) {
+      out.count.hard_lb = count_hard.lb;
+      out.count.hard_ub = count_hard.ub;
+    }
+    avg_hard = BoundsFor(tree, fs, AggregateType::kAvg);
+    if (avg_hard.valid) {
+      out.avg.hard_lb = avg_hard.lb;
+      out.avg.hard_ub = avg_hard.ub;
+    }
+  }
+
+  out.sum.estimate = AdditiveEstimate(tree, fs, true, opts.use_fpc);
+  out.count.estimate = AdditiveEstimate(tree, fs, false, opts.use_fpc);
+  out.sum_count_cov = SumCountCovariance(fs, opts.use_fpc);
+  out.avg.estimate = RatioEstimate(out.sum.estimate, out.count.estimate,
+                                   out.sum_count_cov, avg_hard);
+  return out;
 }
 
 }  // namespace
@@ -432,38 +510,116 @@ MultiAnswer MultiAnswerOverPlan(const PartitionTree& tree,
   const FrontierScan fs =
       ExecutePlan(tree, samples, predicate, std::move(plan),
                   answer_options.budget, answer_options.seed);
+  return MultiFromFrontier(tree, fs, opts);
+}
 
-  MultiAnswer out;
-  out.fused = true;
-  out.sum = fs.base;
-  out.count = fs.base;
-  out.avg = fs.base;
+namespace {
 
-  HardBounds avg_hard;
-  if (opts.compute_hard_bounds) {
-    const HardBounds sum_hard = BoundsFor(tree, fs, AggregateType::kSum);
-    if (sum_hard.valid) {
-      out.sum.hard_lb = sum_hard.lb;
-      out.sum.hard_ub = sum_hard.ub;
+/// The tree-backed EstimationSession: a checkpoint into the one spend-
+/// priority order the one-shot executor walks. State is the FrontierScan
+/// a fresh run would have built, grown monotonically; every AdvanceTo
+/// recomputes the dynamic diagnostics in frontier order and reassembles
+/// through the same MultiFromFrontier a fresh run uses, so answers are
+/// bit-identical to fresh budgeted evaluations by construction.
+class TreeSession final : public EstimationSession {
+ public:
+  TreeSession(const PartitionTree& tree,
+              const std::vector<StratifiedSample>& samples, WorkPlan plan,
+              Rect predicate, const EstimatorOptions& opts, uint64_t seed)
+      : tree_(tree),
+        samples_(samples),
+        predicate_(std::move(predicate)),
+        opts_(opts),
+        plan_cost_(plan.total_cost),
+        units_(plan.units) {
+    const std::vector<uint32_t> order = SpendOrder(plan, seed);
+    fs_ = InitFrontierScan(tree_, std::move(plan));
+    static_base_ = fs_.base;
+    // Zero-cost units are admitted at every budget level (they do no
+    // work), so scan them up front; the checkpointed walk below meters
+    // nonzero units only.
+    for (uint32_t u = 0; u < units_.size(); ++u) {
+      if (units_[u].cost == 0) ScanUnit(u);
     }
-    const HardBounds count_hard = BoundsFor(tree, fs, AggregateType::kCount);
-    if (count_hard.valid) {
-      out.count.hard_lb = count_hard.lb;
-      out.count.hard_ub = count_hard.ub;
-    }
-    avg_hard = BoundsFor(tree, fs, AggregateType::kAvg);
-    if (avg_hard.valid) {
-      out.avg.hard_lb = avg_hard.lb;
-      out.avg.hard_ub = avg_hard.ub;
+    nonzero_order_.reserve(order.size());
+    for (const uint32_t u : order) {
+      if (units_[u].cost > 0) nonzero_order_.push_back(u);
     }
   }
 
-  out.sum.estimate = AdditiveEstimate(tree, fs, true, opts.use_fpc);
-  out.count.estimate = AdditiveEstimate(tree, fs, false, opts.use_fpc);
-  out.sum_count_cov = SumCountCovariance(fs, opts.use_fpc);
-  out.avg.estimate = RatioEstimate(out.sum.estimate, out.count.estimate,
-                                   out.sum_count_cov, avg_hard);
-  return out;
+  MultiAnswer AdvanceTo(uint64_t max_scan_units) override {
+    // Resume the prefix walk from the checkpoint: admit whole units while
+    // they fit the cumulative cap, stop at the first that does not —
+    // exactly where a fresh SelectUnits at this cap stops.
+    while (cursor_ < nonzero_order_.size()) {
+      const uint32_t u = nonzero_order_[cursor_];
+      const uint64_t cost = units_[u].cost;
+      if (used_ + cost > max_scan_units) break;
+      used_ += cost;
+      ScanUnit(u);
+      ++cursor_;
+    }
+    return Assemble();
+  }
+
+  uint64_t PlanCost() const override { return plan_cost_; }
+  uint64_t UnitsScanned() const override { return used_; }
+
+ private:
+  void ScanUnit(uint32_t u) {
+    PartialScan& p = fs_.partials[u];
+    const PartitionTree::Node& n = tree_.node(p.node);
+    p.scan = samples_[static_cast<size_t>(n.leaf_id)].Scan(predicate_);
+    p.scanned = true;
+  }
+
+  MultiAnswer Assemble() {
+    // Rebuild the dynamic diagnostics in frontier order — the order the
+    // one-shot executor accumulates them in — from the per-unit scans.
+    fs_.base = static_base_;
+    fs_.observed_min.reset();
+    fs_.observed_max.reset();
+    for (size_t u = 0; u < fs_.partials.size(); ++u) {
+      const PartialScan& p = fs_.partials[u];
+      if (!p.scanned) {
+        fs_.base.truncated = true;
+        continue;
+      }
+      fs_.base.sample_rows_scanned += units_[u].cost;
+      fs_.base.matched_sample_rows += p.scan.matched;
+      if (p.scan.matched > 0) {
+        fs_.observed_min = fs_.observed_min
+                               ? std::min(*fs_.observed_min, p.scan.min)
+                               : p.scan.min;
+        fs_.observed_max = fs_.observed_max
+                               ? std::max(*fs_.observed_max, p.scan.max)
+                               : p.scan.max;
+      }
+    }
+    return MultiFromFrontier(tree_, fs_, opts_);
+  }
+
+  const PartitionTree& tree_;
+  const std::vector<StratifiedSample>& samples_;
+  const Rect predicate_;
+  const EstimatorOptions opts_;
+  const uint64_t plan_cost_;
+  std::vector<WorkUnit> units_;
+  std::vector<uint32_t> nonzero_order_;  // spend order, nonzero units only
+  size_t cursor_ = 0;                    // next candidate in nonzero_order_
+  uint64_t used_ = 0;                    // units admitted so far
+  FrontierScan fs_;
+  QueryAnswer static_base_;  // plan-time diagnostics, scan-independent
+};
+
+}  // namespace
+
+std::unique_ptr<EstimationSession> StartTreeSession(
+    const PartitionTree& tree, const std::vector<StratifiedSample>& samples,
+    WorkPlan plan, Rect predicate, const EstimatorOptions& opts,
+    uint64_t seed) {
+  return std::make_unique<TreeSession>(tree, samples, std::move(plan),
+                                       std::move(predicate), opts, seed);
 }
 
 }  // namespace pass

@@ -2,9 +2,11 @@
 #define PASS_CORE_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/answer.h"
+#include "core/estimation_session.h"
 #include "core/partition_tree.h"
 #include "core/query.h"
 #include "core/stratified_sample.h"
@@ -53,6 +55,13 @@ struct WorkPlan {
   PartitionTree::Frontier frontier;
   std::vector<WorkUnit> units;  // one per frontier.partial, same order
   uint64_t total_cost = 0;      // sum of unit costs
+
+  /// Optional explicit spend-priority order: a permutation of indices into
+  /// `units`. Empty (the default, what PlanScan emits) means the executor
+  /// derives the order from AnswerOptions::seed. A sharded fan-out fills
+  /// it with the restriction of its global interleaved order, so each
+  /// shard admits exactly the units the global budget walk chose.
+  std::vector<uint32_t> priority;
 };
 
 /// Runs the MCF walk and enumerates the partial-leaf scan units. This is
@@ -136,6 +145,19 @@ MultiAnswer MultiAnswerOverPlan(const PartitionTree& tree,
                                 WorkPlan plan, const Rect& predicate,
                                 const EstimatorOptions& opts,
                                 const AnswerOptions& answer_options);
+
+/// Opens a resumable fused estimation over a plan the caller already
+/// computed (PlanScan with the rule OFF — the fused frontier). AdvanceTo
+/// answers are bit-identical to MultiAnswerOverPlan on the same plan with
+/// the same seed and `budget.max_scan_units` equal to the cumulative cap:
+/// both spend units in the same priority order (the plan's explicit one,
+/// or the seed-shuffled order) under the same prefix-stop admission, and
+/// both assemble estimates from the partial scans in frontier order. The
+/// tree and samples must outlive the session.
+std::unique_ptr<EstimationSession> StartTreeSession(
+    const PartitionTree& tree, const std::vector<StratifiedSample>& samples,
+    WorkPlan plan, Rect predicate, const EstimatorOptions& opts,
+    uint64_t seed);
 
 /// Per-stratum moments used by SUM/COUNT estimation; exposed for reuse by
 /// baselines (stratified sampling shares the math).

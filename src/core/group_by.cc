@@ -7,20 +7,49 @@
 
 namespace pass {
 
+namespace {
+
+/// The group's rewritten predicate: the base with the group dim pinned to
+/// the equality interval [value, value].
+Rect GroupPredicate(const Rect& base_predicate, size_t group_dim,
+                    double value) {
+  Rect predicate = base_predicate;
+  predicate.dim(group_dim) = Interval{value, value};
+  return predicate;
+}
+
+}  // namespace
+
 std::vector<GroupByRow> AnswerGroupBy(
     const AqpSystem& system, AggregateType agg, const Rect& base_predicate,
-    size_t group_dim, const std::vector<double>& group_values) {
+    size_t group_dim, const std::vector<double>& group_values,
+    const AnswerOptions& options) {
   PASS_CHECK(group_dim < base_predicate.NumDims());
   std::vector<GroupByRow> out;
   out.reserve(group_values.size());
   for (const double value : group_values) {
     Query q;
     q.agg = agg;
-    q.predicate = base_predicate;
-    q.predicate.dim(group_dim) = Interval{value, value};
+    q.predicate = GroupPredicate(base_predicate, group_dim, value);
     GroupByRow row;
     row.group_value = value;
-    row.answer = system.Answer(q);
+    row.answer = system.Answer(q, options);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<GroupByMultiRow> AnswerGroupByMulti(
+    const AqpSystem& system, const Rect& base_predicate, size_t group_dim,
+    const std::vector<double>& group_values, const AnswerOptions& options) {
+  PASS_CHECK(group_dim < base_predicate.NumDims());
+  std::vector<GroupByMultiRow> out;
+  out.reserve(group_values.size());
+  for (const double value : group_values) {
+    GroupByMultiRow row;
+    row.group_value = value;
+    row.answer = system.AnswerMulti(
+        GroupPredicate(base_predicate, group_dim, value), options);
     out.push_back(std::move(row));
   }
   return out;

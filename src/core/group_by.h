@@ -17,15 +17,32 @@ struct GroupByRow {
   QueryAnswer answer;
 };
 
+/// One fused result row per group value (SUM, COUNT and AVG from one
+/// evaluation per group; see AqpSystem::AnswerMulti).
+struct GroupByMultiRow {
+  double group_value = 0.0;
+  MultiAnswer answer;
+};
+
 /// Answers `SELECT group_dim, agg(A) FROM P WHERE base_predicate GROUP BY
 /// group_dim` against any AQP system, for an explicit list of group values
 /// (categorical domains are small by assumption; use DistinctValues to
-/// enumerate them from a dataset).
+/// enumerate them from a dataset). `options` forwards unchanged to every
+/// per-group Answer call — in particular a scan-unit budget applies per
+/// group, so G groups spend at most G times the budget.
 std::vector<GroupByRow> AnswerGroupBy(const AqpSystem& system,
                                       AggregateType agg,
                                       const Rect& base_predicate,
                                       size_t group_dim,
-                                      const std::vector<double>& group_values);
+                                      const std::vector<double>& group_values,
+                                      const AnswerOptions& options = {});
+
+/// Fused variant: one AnswerMulti evaluation per group value, yielding
+/// SUM/COUNT/AVG rows with their exact cross-aggregate covariance. Same
+/// per-group options forwarding as AnswerGroupBy.
+std::vector<GroupByMultiRow> AnswerGroupByMulti(
+    const AqpSystem& system, const Rect& base_predicate, size_t group_dim,
+    const std::vector<double>& group_values, const AnswerOptions& options = {});
 
 /// Enumerates the distinct values of a predicate column, ascending —
 /// intended for categorical/dictionary-encoded columns. `max_values` guards

@@ -17,22 +17,25 @@ Synopsis::Synopsis(PartitionTree tree, std::vector<StratifiedSample> samples,
   for (const auto& s : samples_) sample_capacity_.push_back(s.size());
 }
 
-QueryAnswer Synopsis::Answer(const Query& query) const {
-  return AnswerWithTree(tree_, samples_, query, options_);
-}
-
-QueryAnswer Synopsis::Answer(const Query& query,
-                             const AnswerOptions& options) const {
+QueryAnswer Synopsis::AnswerImpl(const Query& query,
+                                 const AnswerOptions& options) const {
   return AnswerWithTree(tree_, samples_, query, options_, options);
 }
 
-MultiAnswer Synopsis::AnswerMulti(const Rect& predicate) const {
-  return MultiAnswerWithTree(tree_, samples_, predicate, options_);
+MultiAnswer Synopsis::AnswerMultiImpl(const Rect& predicate,
+                                      const AnswerOptions& options) const {
+  return MultiAnswerWithTree(tree_, samples_, predicate, options_, options);
 }
 
-MultiAnswer Synopsis::AnswerMulti(const Rect& predicate,
-                                  const AnswerOptions& options) const {
-  return MultiAnswerWithTree(tree_, samples_, predicate, options_, options);
+std::unique_ptr<EstimationSession> Synopsis::StartSessionImpl(
+    const Rect& predicate, uint64_t seed) const {
+  return StartSessionOverPlan(PlanFor(predicate), predicate, seed);
+}
+
+std::unique_ptr<EstimationSession> Synopsis::StartSessionOverPlan(
+    WorkPlan plan, const Rect& predicate, uint64_t seed) const {
+  return StartTreeSession(tree_, samples_, std::move(plan), predicate,
+                          options_, seed);
 }
 
 WorkPlan Synopsis::PlanFor(const Rect& predicate) const {

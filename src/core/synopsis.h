@@ -29,19 +29,6 @@ class Synopsis final : public AqpSystem {
            EstimatorOptions options);
 
   // AqpSystem:
-  QueryAnswer Answer(const Query& query) const override;
-  /// Anytime: spends at most `options.budget` scan units, in the
-  /// seed-deterministic priority order; skipped leaves fall back to their
-  /// bounds midpoint. Bit-identical to Answer(query) when unlimited.
-  QueryAnswer Answer(const Query& query,
-                     const AnswerOptions& options) const override;
-  /// Fused: one MCF walk + one leaf-sample scan yield SUM, COUNT and AVG
-  /// with their exact cross-aggregate covariance (MultiAnswerWithTree).
-  MultiAnswer AnswerMulti(const Rect& predicate) const override;
-  /// Anytime fused: all three aggregates truncate together over the one
-  /// shared execution set, keeping the covariance exact at every budget.
-  MultiAnswer AnswerMulti(const Rect& predicate,
-                          const AnswerOptions& options) const override;
   bool SupportsBudget() const override { return true; }
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
@@ -65,6 +52,14 @@ class Synopsis final : public AqpSystem {
                              const AnswerOptions& options) const;
   MultiAnswer AnswerMultiOverPlan(WorkPlan plan, const Rect& predicate,
                                   const AnswerOptions& options) const;
+
+  /// Opens a resumable fused estimation over a plan the caller computed
+  /// with PlanFor — possibly carrying an explicit priority order (the
+  /// sharded fan-out's global-order restriction). Same delta-scan /
+  /// bit-identity contract as StartSession; the synopsis must outlive the
+  /// session.
+  std::unique_ptr<EstimationSession> StartSessionOverPlan(
+      WorkPlan plan, const Rect& predicate, uint64_t seed) const;
 
   // --- Introspection --------------------------------------------------------
   const PartitionTree& tree() const { return tree_; }
@@ -107,6 +102,23 @@ class Synopsis final : public AqpSystem {
   void set_name(std::string name) { name_ = std::move(name); }
   void set_build_seconds(double s) { build_seconds_ = s; }
   double build_seconds() const { return build_seconds_; }
+
+ protected:
+  // AqpSystem hooks (reached through the public non-virtual entry points):
+  /// Anytime: spends at most `options.budget` scan units, in the
+  /// seed-deterministic priority order; skipped leaves fall back to their
+  /// bounds midpoint. An unlimited budget answers in full.
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
+  /// Anytime fused: one MCF walk + one leaf-sample scan yield SUM, COUNT
+  /// and AVG with their exact cross-aggregate covariance; all three
+  /// truncate together over the one shared execution set, keeping the
+  /// covariance exact at every budget.
+  MultiAnswer AnswerMultiImpl(const Rect& predicate,
+                              const AnswerOptions& options) const override;
+  /// Resumable fused estimation over the rule-OFF plan of `predicate`.
+  std::unique_ptr<EstimationSession> StartSessionImpl(
+      const Rect& predicate, uint64_t seed) const override;
 
  private:
   PartitionTree tree_;

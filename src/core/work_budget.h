@@ -18,10 +18,13 @@ namespace pass {
 /// a hint: every estimator in this repository answers bit-identically to
 /// the pre-budget code path when the budget is unlimited.
 struct WorkBudget {
-  /// Maximum scan units to spend. A partial leaf is scanned only when its
-  /// whole sample still fits into the remaining allowance (per-leaf
-  /// estimators need the full stratum sample to stay unbiased); leaves
-  /// left unscanned fall back to their deterministic bounds-midpoint
+  /// Maximum scan units to spend. Units are admitted whole, walking the
+  /// deterministic priority order and stopping at the first leaf whose
+  /// sample no longer fits the remaining allowance (per-leaf estimators
+  /// need the full stratum sample to stay unbiased, and the prefix-stop
+  /// rule makes the admitted set monotone in the cap — the property a
+  /// resumable EstimationSession replays from a checkpoint). Leaves left
+  /// unscanned fall back to their deterministic bounds-midpoint
   /// contribution, so *every* value — including 0 — yields a valid, wider
   /// answer. Empty = no unit cap.
   std::optional<uint64_t> max_scan_units;

@@ -35,6 +35,15 @@ struct BudgetCalibration {
   /// the rest absorbs walk/merge overhead and estimation noise. The soft
   /// deadline backstops whatever this underestimates.
   double safety_factor = 0.5;
+
+  /// Fixed per-query overhead assumed before the first observation, in ms
+  /// (MCF walk + split + merge — everything a zero-budget answer still
+  /// pays). Learned as an EWMA of max(run_ms - units * unit_cost, 0) from
+  /// every completed budget-capable query. The admission controller's
+  /// kRejectInfeasible policy sheds a query only when the remaining time
+  /// at admission cannot even cover this floor — i.e. when the zero-budget
+  /// bounds-midpoint answer would itself miss the deadline.
+  double initial_overhead_ms = 0.05;
 };
 
 /// One configuration shared by every engine the registry can construct, so

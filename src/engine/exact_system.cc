@@ -4,7 +4,9 @@
 
 namespace pass {
 
-QueryAnswer ExactSystem::Answer(const Query& query) const {
+QueryAnswer ExactSystem::AnswerImpl(const Query& query,
+                                    const AnswerOptions& options) const {
+  (void)options;  // exact scans answer in full; budgets don't apply
   const ExactResult truth = ExactAnswer(*data_, query);
   QueryAnswer answer;
   answer.estimate.value = truth.value;
@@ -18,7 +20,9 @@ QueryAnswer ExactSystem::Answer(const Query& query) const {
   return answer;
 }
 
-MultiAnswer ExactSystem::AnswerMulti(const Rect& predicate) const {
+MultiAnswer ExactSystem::AnswerMultiImpl(const Rect& predicate,
+                                         const AnswerOptions& options) const {
+  (void)options;
   const ExactMultiResult truth = ExactMultiAnswer(*data_, predicate);
   MultiAnswer out;
   out.fused = true;  // deterministic answers: the zero covariance is exact

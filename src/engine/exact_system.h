@@ -14,21 +14,22 @@ namespace pass {
 /// system; nothing is copied.
 ///
 /// Not an anytime system (SupportsBudget() stays false): a full scan has
-/// no bounds-midpoint fallback for skipped work, so the budgeted overloads
-/// inherit the base behavior — answer in full, never truncate — and the
+/// no bounds-midpoint fallback for skipped work, so a budget in the
+/// options is ignored — answer in full, never truncate — and the
 /// scheduler sheds an over-deadline exact query rather than budgeting it.
 class ExactSystem final : public AqpSystem {
  public:
   explicit ExactSystem(const Dataset& data) : data_(&data) {}
 
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
-
-  QueryAnswer Answer(const Query& query) const override;
-  /// Fused: SUM, COUNT and AVG from one full scan instead of three.
-  MultiAnswer AnswerMulti(const Rect& predicate) const override;
   std::string Name() const override { return "Exact"; }
   SystemCosts Costs() const override;
+
+ protected:
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
+  /// Fused: SUM, COUNT and AVG from one full scan instead of three.
+  MultiAnswer AnswerMultiImpl(const Rect& predicate,
+                              const AnswerOptions& options) const override;
 
  private:
   const Dataset* data_;

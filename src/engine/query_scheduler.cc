@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "stats/confidence.h"
 
 namespace pass {
 namespace {
@@ -30,6 +31,8 @@ struct QueryScheduler::Task {
   uint64_t ticket = 0;
   SteadyClock::time_point admitted;
   std::optional<SteadyClock::time_point> deadline;
+  std::optional<StoppingCondition> until;
+  AdmissionPolicy admission = AdmissionPolicy::kAlwaysAnswer;
   bool want_future = false;
   std::promise<ScheduledAnswer> promise;
   Callback done;
@@ -39,6 +42,7 @@ QueryScheduler::QueryScheduler(const SchedulerOptions& options)
     : max_in_flight_(options.max_in_flight),
       calibration_(options.calibration),
       unit_cost_ms_(options.calibration.initial_unit_cost_ms),
+      overhead_ms_(options.calibration.initial_overhead_ms),
       pool_(options.num_threads) {}
 
 QueryScheduler::QueryScheduler(size_t num_threads)
@@ -79,16 +83,56 @@ void QueryScheduler::Submit(const AqpSystem& system, Query query,
                        /*want_future=*/false);
 }
 
+std::future<ScheduledAnswer> QueryScheduler::AnswerUntil(
+    const AqpSystem& system, Query query, const StoppingCondition& condition,
+    const SubmitOptions& options) {
+  SubmitOptions progressive = options;
+  progressive.until = condition;
+  return SubmitInternal(system, std::move(query), progressive,
+                        /*done=*/nullptr, /*want_future=*/true);
+}
+
+void QueryScheduler::AnswerUntil(const AqpSystem& system, Query query,
+                                 const StoppingCondition& condition,
+                                 const SubmitOptions& options, Callback done) {
+  PASS_CHECK(done != nullptr);
+  SubmitOptions progressive = options;
+  progressive.until = condition;
+  (void)SubmitInternal(system, std::move(query), progressive, std::move(done),
+                       /*want_future=*/false);
+}
+
 std::future<ScheduledAnswer> QueryScheduler::SubmitInternal(
     const AqpSystem& system, Query query, const SubmitOptions& options,
     Callback done, bool want_future) {
   auto task = std::make_unique<Task>();
   task->system = &system;
   task->query = std::move(query);
+  task->until = options.until;
+  task->admission = options.admission;
   task->want_future = want_future;
   task->done = std::move(done);
   std::future<ScheduledAnswer> future;
   if (want_future) future = task->promise.get_future();
+
+  // Admission control: shed before consuming a queue slot when even the
+  // zero-budget answer could not make the deadline (the whole relative
+  // deadline is below the calibrated fixed per-query overhead). The same
+  // check runs again at dispatch with the queue wait spent.
+  if (options.admission == AdmissionPolicy::kRejectInfeasible &&
+      options.deadline && system.SupportsBudget()) {
+    const double deadline_ms =
+        std::chrono::duration<double, std::milli>(*options.deadline).count();
+    if (deadline_ms <= CalibratedOverheadMs()) {
+      ScheduledAnswer result;
+      result.status = Status::DeadlineExceeded(
+          "deadline below the calibrated zero-budget overhead; rejected at "
+          "admission");
+      if (task->want_future) task->promise.set_value(result);
+      if (task->done) task->done(std::move(result));
+      return future;
+    }
+  }
 
   bool rejected = false;
   {
@@ -147,11 +191,24 @@ double QueryScheduler::CalibratedUnitCostMs() const {
   return unit_cost_ms_;
 }
 
-void QueryScheduler::ObserveUnitCost(double run_ms, uint64_t units) {
-  if (units < kMinUnitsToCalibrate || !(run_ms > 0.0)) return;
-  const double observed = run_ms / static_cast<double>(units);
+double QueryScheduler::CalibratedOverheadMs() const {
   std::lock_guard<std::mutex> lock(calibration_mu_);
-  unit_cost_ms_ += calibration_.ewma_alpha * (observed - unit_cost_ms_);
+  return overhead_ms_;
+}
+
+void QueryScheduler::ObserveUnitCost(double run_ms, uint64_t units) {
+  if (!(run_ms > 0.0)) return;
+  std::lock_guard<std::mutex> lock(calibration_mu_);
+  if (units >= kMinUnitsToCalibrate) {
+    const double observed = run_ms / static_cast<double>(units);
+    unit_cost_ms_ += calibration_.ewma_alpha * (observed - unit_cost_ms_);
+  }
+  // The per-query overhead floor learns from every run, including the
+  // small-unit ones the per-unit EWMA must ignore: whatever the units
+  // cannot explain at the current per-unit cost is fixed overhead.
+  const double observed_overhead =
+      std::max(run_ms - static_cast<double>(units) * unit_cost_ms_, 0.0);
+  overhead_ms_ += calibration_.ewma_alpha * (observed_overhead - overhead_ms_);
 }
 
 void QueryScheduler::RunTask(Task* raw) {
@@ -161,13 +218,30 @@ void QueryScheduler::RunTask(Task* raw) {
   ScheduledAnswer result;
   result.ticket = task->ticket;
   result.queue_ms = MillisBetween(task->admitted, dispatched);
-  const bool anytime = task->deadline && task->system->SupportsBudget();
+  const bool budgetable = task->system->SupportsBudget();
+  const bool anytime = task->deadline && budgetable;
+  const bool progressive = task->until && budgetable;
+  bool infeasible = false;
+  if (anytime && task->admission == AdmissionPolicy::kRejectInfeasible) {
+    // Dispatch-time re-check of the admission gate: the queue wait may
+    // have eaten the margin that existed at admission.
+    const double remaining_ms = dispatched < *task->deadline
+                                    ? MillisBetween(dispatched, *task->deadline)
+                                    : 0.0;
+    infeasible = remaining_ms <= CalibratedOverheadMs();
+  }
   if (task->deadline && dispatched > *task->deadline && !anytime) {
     // Expired while queued on a system that cannot truncate: the query is
     // never run, so an overloaded scheduler sheds the work itself, not
     // just the answer.
     result.status = Status::DeadlineExceeded(
         "deadline expired before the query was dispatched");
+  } else if (infeasible) {
+    result.status = Status::DeadlineExceeded(
+        "remaining time below the calibrated zero-budget overhead; query "
+        "shed at dispatch");
+  } else if (progressive) {
+    RunProgressive(task.get(), &result);
   } else if (anytime) {
     // Deadline-to-budget conversion: grant whatever the remaining time
     // buys at the calibrated per-unit cost (zero for a query that expired
@@ -221,6 +295,97 @@ void QueryScheduler::RunTask(Task* raw) {
   }
   // Wakes both backpressured producers and Drain()/Shutdown() waiters.
   slot_free_.notify_all();
+}
+
+namespace {
+
+/// The aggregate of a fused MultiAnswer that a progressive submission
+/// refines. Only SUM/COUNT/AVG have a fused resumable path.
+const QueryAnswer* FusedComponent(const MultiAnswer& multi,
+                                  AggregateType agg) {
+  switch (agg) {
+    case AggregateType::kSum:
+      return &multi.sum;
+    case AggregateType::kCount:
+      return &multi.count;
+    case AggregateType::kAvg:
+      return &multi.avg;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+void QueryScheduler::RunProgressive(Task* task, ScheduledAnswer* result) {
+  const StoppingCondition& condition = *task->until;
+  const double lambda = LambdaForConfidence(condition.confidence);
+  const AggregateType agg = task->query.agg;
+  const SteadyClock::time_point started = SteadyClock::now();
+
+  std::unique_ptr<EstimationSession> session;
+  const bool fused = agg == AggregateType::kSum ||
+                     agg == AggregateType::kCount ||
+                     agg == AggregateType::kAvg;
+  if (fused) {
+    // Ticket-derived seed, like the anytime path (see ScheduledAnswer).
+    session = task->system->StartSession(task->query.predicate, task->ticket);
+  }
+  if (session == nullptr) {
+    // No resumable path for this aggregate/system: answer once, in full.
+    // The submission still resolves normally, just without refinements.
+    result->answer = task->system->Answer(task->query);
+    result->run_ms = MillisBetween(started, SteadyClock::now());
+    if (task->system->SupportsBudget()) {
+      ObserveUnitCost(result->run_ms, result->answer.sample_rows_scanned);
+    }
+    return;
+  }
+
+  const uint64_t plan = session->PlanCost();
+  const uint64_t step =
+      condition.min_step_units > 0
+          ? condition.min_step_units
+          : std::max<uint64_t>(64, plan / 16);
+
+  // The refinement ladder: 0, step, 2*step, 4*step, ... Zero first — the
+  // bounds-only answer is free and sometimes already tight enough; then
+  // doubling keeps the total number of reassemblies logarithmic in the
+  // plan while each AdvanceTo scans only the delta units.
+  uint64_t cap = 0;
+  uint32_t refinements = 0;
+  while (true) {
+    const MultiAnswer multi = session->AdvanceTo(cap);
+    const QueryAnswer& answer = *FusedComponent(multi, agg);
+    const bool tight =
+        condition.target_ci_width > 0.0 &&
+        answer.estimate.HalfWidth(lambda) <= condition.target_ci_width;
+    const bool out_of_time =
+        task->deadline && SteadyClock::now() >= *task->deadline;
+    const bool final_step = tight || out_of_time || session->Exhausted();
+
+    result->answer = answer;
+    result->budget_total = std::min(cap, plan);
+    result->budget_used = session->UnitsScanned();
+    result->truncated = answer.truncated;
+    result->refinements = refinements;
+    result->is_final = final_step;
+    if (final_step) break;
+
+    if (task->done) {
+      // Stream the intermediate answer; only the final one resolves the
+      // submission (and is the only one a future ever sees).
+      ScheduledAnswer intermediate = *result;
+      const SteadyClock::time_point now = SteadyClock::now();
+      intermediate.run_ms = MillisBetween(started, now);
+      intermediate.total_ms = MillisBetween(task->admitted, now);
+      task->done(intermediate);
+    }
+    cap = cap == 0 ? step : cap * 2;
+    ++refinements;
+  }
+  result->run_ms = MillisBetween(started, SteadyClock::now());
+  ObserveUnitCost(result->run_ms, result->budget_used);
 }
 
 void QueryScheduler::Drain() {

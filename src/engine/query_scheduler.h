@@ -35,6 +35,15 @@ struct ScheduledAnswer {
   uint64_t budget_used = 0;
   bool truncated = false;
 
+  /// Progressive (AnswerUntil) accounting. Intermediate answers streamed
+  /// through the callback carry is_final = false; exactly one final answer
+  /// (is_final = true) resolves the submission — it is the only one a
+  /// future ever sees. `refinements` counts the AdvanceTo steps taken
+  /// before this answer was produced (0 for non-progressive submissions
+  /// and for the zero-budget first look).
+  bool is_final = true;
+  uint32_t refinements = 0;
+
   /// Monotonically increasing admission ticket. Every submission gets a
   /// unique ticket under the admission lock, so any scheduler-level
   /// randomization (none today) must derive its seed from the ticket —
@@ -47,7 +56,49 @@ struct ScheduledAnswer {
   double total_ms = 0.0;  // admission -> resolution (queue + run)
 };
 
-/// Per-submission knobs.
+/// When a progressive (AnswerUntil) submission may stop refining. The
+/// scheduler iterates plan -> scan-delta -> check: it opens one
+/// EstimationSession, advances it through a doubling ladder of cumulative
+/// scan-unit budgets, and stops at the first answer whose confidence
+/// interval is tight enough — or when the plan is exhausted or the
+/// deadline expires, whichever comes first. Because each step resumes the
+/// same session, reaching a given budget level costs exactly that many
+/// scan units in total, never the sum of the ladder (the refine-vs-restart
+/// sweep in bench_micro measures this).
+struct StoppingCondition {
+  /// Stop once the CI half-width at `confidence` is <= this. 0 = never
+  /// satisfied by width — refine until the plan is exhausted or the
+  /// deadline hits (a "best answer by the deadline" submission).
+  double target_ci_width = 0.0;
+
+  /// Confidence level of the interval checked against target_ci_width.
+  double confidence = 0.99;
+
+  /// Minimum scan units per refinement step. 0 = auto: max(64, plan/16),
+  /// so a step is never too small to amortize the reassembly overhead.
+  uint64_t min_step_units = 0;
+};
+
+/// What the scheduler does with a deadline submission it cannot serve in
+/// time (see SubmitOptions::admission).
+enum class AdmissionPolicy {
+  /// Never shed a budget-capable query: even an expired-in-queue one runs
+  /// with a zero budget and answers from hard bounds alone. The default,
+  /// and the only behavior before admission control existed.
+  kAlwaysAnswer,
+  /// Shed with kDeadlineExceeded when even the zero-budget answer would
+  /// miss the deadline — i.e. when the remaining time cannot cover the
+  /// calibrated fixed per-query overhead (walk + merge; see
+  /// BudgetCalibration::initial_overhead_ms). Checked at admission and
+  /// again at dispatch. Queries whose deadline affords at least the
+  /// overhead are never shed, no matter how small the granted budget.
+  kRejectInfeasible,
+};
+
+/// Per-submission knobs. The struct is the extension point: new serving
+/// modes add defaulted fields here (stopping conditions, admission
+/// policies) instead of new Submit overloads, so existing two-field
+/// aggregate initializers keep compiling unchanged.
 struct SubmitOptions {
   /// Relative deadline, measured on the monotonic clock from the moment
   /// Submit admits the query. The policy is *anytime-first*:
@@ -70,6 +121,21 @@ struct SubmitOptions {
   /// nullopt = no deadline; the query runs unbudgeted on every system and
   /// the delivered answer is bit-identical to the synchronous path.
   std::optional<std::chrono::milliseconds> deadline;
+
+  /// Progressive mode: refine a resumable estimation until the condition
+  /// holds (or the plan is exhausted / the deadline expires). Requires a
+  /// budget-capable system and a fused aggregate (SUM/COUNT/AVG); other
+  /// submissions answer once, in full, exactly as without `until`. With a
+  /// callback submission every intermediate answer streams through the
+  /// callback (is_final = false) before the final one; a future receives
+  /// only the final answer. AnswerUntil() is sugar for setting this.
+  std::optional<StoppingCondition> until;
+
+  /// What to do when the deadline is infeasible even for a zero-budget
+  /// answer. Only consulted for deadline submissions to budget-capable
+  /// systems; systems without an anytime path always shed expired work
+  /// (they cannot truncate).
+  AdmissionPolicy admission = AdmissionPolicy::kAlwaysAnswer;
 };
 
 /// Construction-time capacity knobs.
@@ -133,6 +199,11 @@ class QueryScheduler {
   /// from every completed budget-capable query. Thread-safe.
   double CalibratedUnitCostMs() const;
 
+  /// Current EWMA of the fixed per-query overhead (ms a zero-budget
+  /// answer still pays: walk + split + merge). The admission controller's
+  /// kRejectInfeasible floor. Thread-safe.
+  double CalibratedOverheadMs() const;
+
   /// Admitted-but-unresolved submissions right now (queued + running).
   size_t InFlight() const;
 
@@ -146,9 +217,27 @@ class QueryScheduler {
   /// Completion-callback overload: `done` runs on the worker thread that
   /// resolved the submission (including rejection at shutdown, where it
   /// runs on the submitting thread). The callback must not throw and must
-  /// not block on this scheduler's own pool.
+  /// not block on this scheduler's own pool. A progressive submission
+  /// (options.until) invokes `done` once per intermediate answer
+  /// (is_final = false) and once for the final one.
   void Submit(const AqpSystem& system, Query query,
               const SubmitOptions& options, Callback done);
+
+  /// Progressive answering: refine until the stopping condition holds (or
+  /// the deadline in `options` expires, or the plan is exhausted). Sugar
+  /// for Submit with options.until = condition; see
+  /// SubmitOptions::until for the contract. The future resolves with the
+  /// final answer only.
+  std::future<ScheduledAnswer> AnswerUntil(const AqpSystem& system,
+                                           Query query,
+                                           const StoppingCondition& condition,
+                                           const SubmitOptions& options = {});
+
+  /// Streaming overload: every intermediate answer reaches `done` with
+  /// is_final = false, then the final one with is_final = true.
+  void AnswerUntil(const AqpSystem& system, Query query,
+                   const StoppingCondition& condition,
+                   const SubmitOptions& options, Callback done);
 
   /// Blocks until every admitted submission has resolved. New submissions
   /// are still accepted during and after a drain; with concurrent
@@ -169,6 +258,10 @@ class QueryScheduler {
                                               const SubmitOptions& options,
                                               Callback done, bool want_future);
   void RunTask(Task* task);
+  /// The progressive (options.until) path of RunTask: session-resumed
+  /// refinement over a doubling budget ladder. Fills everything in
+  /// `result` except total_ms.
+  void RunProgressive(Task* task, ScheduledAnswer* result);
   void ObserveUnitCost(double run_ms, uint64_t units);
 
   mutable std::mutex mu_;
@@ -179,10 +272,11 @@ class QueryScheduler {
   const size_t max_in_flight_;
   const BudgetCalibration calibration_;
 
-  /// Deadline-pricing EWMA, shared by every worker (its own lock so the
+  /// Deadline-pricing EWMAs, shared by every worker (their own lock so the
   /// hot admission path never contends with calibration updates).
   mutable std::mutex calibration_mu_;
   double unit_cost_ms_;  // guarded by calibration_mu_
+  double overhead_ms_;   // guarded by calibration_mu_
 
   mutable ThreadPool pool_;  // declared last: joins before state above dies
 };

@@ -41,24 +41,22 @@ size_t SynopsisEnsemble::RouteIndex(const Rect& predicate) const {
   return best;
 }
 
-QueryAnswer SynopsisEnsemble::Answer(const Query& query) const {
-  return members_[RouteIndex(query.predicate)].synopsis->Answer(query);
-}
-
-QueryAnswer SynopsisEnsemble::Answer(const Query& query,
-                                     const AnswerOptions& options) const {
+QueryAnswer SynopsisEnsemble::AnswerImpl(const Query& query,
+                                         const AnswerOptions& options) const {
   return members_[RouteIndex(query.predicate)].synopsis->Answer(query,
                                                                 options);
 }
 
-MultiAnswer SynopsisEnsemble::AnswerMulti(const Rect& predicate) const {
-  return members_[RouteIndex(predicate)].synopsis->AnswerMulti(predicate);
-}
-
-MultiAnswer SynopsisEnsemble::AnswerMulti(const Rect& predicate,
-                                          const AnswerOptions& options) const {
+MultiAnswer SynopsisEnsemble::AnswerMultiImpl(
+    const Rect& predicate, const AnswerOptions& options) const {
   return members_[RouteIndex(predicate)].synopsis->AnswerMulti(predicate,
                                                                options);
+}
+
+std::unique_ptr<EstimationSession> SynopsisEnsemble::StartSessionImpl(
+    const Rect& predicate, uint64_t seed) const {
+  return members_[RouteIndex(predicate)].synopsis->StartSession(predicate,
+                                                                seed);
 }
 
 SystemCosts SynopsisEnsemble::Costs() const {

@@ -33,18 +33,6 @@ class SynopsisEnsemble final : public AqpSystem {
   size_t RouteIndex(const Rect& predicate) const;
 
   // AqpSystem:
-  QueryAnswer Answer(const Query& query) const override;
-  /// Anytime: routing is budget-free (it only scores partition dims), so
-  /// the options forward unchanged to the routed member — the whole
-  /// budget is spent where the query actually runs.
-  QueryAnswer Answer(const Query& query,
-                     const AnswerOptions& options) const override;
-  /// Fused: routes by predicate (like Answer) and delegates to the chosen
-  /// member's one-walk multi-aggregate path.
-  MultiAnswer AnswerMulti(const Rect& predicate) const override;
-  /// Anytime fused: routed, then delegated with the options unchanged.
-  MultiAnswer AnswerMulti(const Rect& predicate,
-                          const AnswerOptions& options) const override;
   bool SupportsBudget() const override { return true; }
   std::string Name() const override { return "PASS-Ensemble"; }
   SystemCosts Costs() const override;
@@ -53,6 +41,21 @@ class SynopsisEnsemble final : public AqpSystem {
     PASS_DCHECK(i < members_.size());
     return *members_[i].synopsis;
   }
+
+ protected:
+  // AqpSystem hooks (reached through the public non-virtual entry points).
+  // Routing is budget-free (it only scores partition dims), so options —
+  // and session seeds — forward unchanged to the routed member: the whole
+  // budget is spent where the query actually runs.
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
+  /// Fused: routes by predicate (like Answer) and delegates to the chosen
+  /// member's one-walk multi-aggregate path.
+  MultiAnswer AnswerMultiImpl(const Rect& predicate,
+                              const AnswerOptions& options) const override;
+  /// Resumable: the session pins the routed member.
+  std::unique_ptr<EstimationSession> StartSessionImpl(
+      const Rect& predicate, uint64_t seed) const override;
 
  private:
   struct Member {

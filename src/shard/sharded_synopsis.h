@@ -50,20 +50,6 @@ class ShardedSynopsis final : public AqpSystem {
   const ParallelShardExecutor* executor() const { return executor_; }
 
   // AqpSystem:
-  QueryAnswer Answer(const Query& query) const override;
-  /// Anytime: a finite unit budget is split across shards proportional to
-  /// each shard's plan cost (SplitBudget below) before the per-shard
-  /// budgeted answers are merged; truncation flags OR through the merge.
-  /// Bit-identical to Answer(query) when the budget is unlimited.
-  QueryAnswer Answer(const Query& query,
-                     const AnswerOptions& options) const override;
-  /// Fused: exactly one synopsis evaluation per shard (one MCF walk + one
-  /// leaf-sample scan), merged with the exact per-shard Cov(SUM, COUNT).
-  /// The AVG path of Answer() is this merge's `avg` component.
-  MultiAnswer AnswerMulti(const Rect& predicate) const override;
-  /// Anytime fused: same budget split as the budgeted Answer overload.
-  MultiAnswer AnswerMulti(const Rect& predicate,
-                          const AnswerOptions& options) const override;
   bool SupportsBudget() const override { return true; }
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
@@ -71,22 +57,53 @@ class ShardedSynopsis final : public AqpSystem {
   /// Total plan cost of this predicate across all shards, in scan units.
   uint64_t PlanScanCost(const Rect& predicate) const;
 
-  /// Divides `budget` scan units across shards proportional to each
-  /// shard's plan cost for this predicate (largest-remainder rounding, so
-  /// the allocations always sum to exactly `budget`; ties and the
-  /// zero-cost-everywhere case split evenly, earlier shards first).
-  /// Public because conservation is part of the anytime contract tests.
-  std::vector<uint64_t> SplitBudget(const Rect& predicate,
-                                    uint64_t budget) const;
+  /// Divides `budget` scan units across shards by interleaving every
+  /// shard's work units into one seed-shuffled global priority order and
+  /// prefix-admitting at the global cap — each shard's allocation is the
+  /// exact cost of its globally admitted units. The contract (checked by
+  /// the anytime tests): allocations never over-commit (their sum is at
+  /// most `budget`, and exactly the total plan cost once `budget` covers
+  /// it), and every per-shard allocation is monotone non-decreasing in
+  /// `budget` — the property that lets a sharded session resume into the
+  /// same global order a fresh larger-budget run would walk. (The old
+  /// largest-remainder apportionment conserved every unit but suffered
+  /// the Alabama paradox: a bigger house could shrink a shard's seats,
+  /// which breaks resume-equals-restart bit-identity.)
+  std::vector<uint64_t> SplitBudget(const Rect& predicate, uint64_t budget,
+                                    uint64_t seed = 0) const;
 
   void set_name(std::string name) { name_ = std::move(name); }
+
+ protected:
+  // AqpSystem hooks (reached through the public non-virtual entry points):
+  /// Anytime: a finite unit budget is split across shards with the global
+  /// interleaved order (SplitBudget above) before the per-shard budgeted
+  /// answers are merged; truncation flags OR through the merge. An
+  /// unlimited budget answers in full with no split overhead.
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions& options) const override;
+  /// Anytime fused: exactly one synopsis evaluation per shard (one MCF
+  /// walk + one leaf-sample scan), merged with the exact per-shard
+  /// Cov(SUM, COUNT). The AVG path of Answer() is this merge's `avg`
+  /// component.
+  MultiAnswer AnswerMultiImpl(const Rect& predicate,
+                              const AnswerOptions& options) const override;
+  /// Resumable fused estimation across shards: one member session per
+  /// shard, advanced along the same global interleaved order the budgeted
+  /// fan-out admits from, merged with MergeShardMulti. Advances run
+  /// sequentially (refinement deltas are small; the fan-out executor
+  /// stays with the one-shot paths). K = 1 delegates to the single
+  /// shard's session unmerged.
+  std::unique_ptr<EstimationSession> StartSessionImpl(
+      const Rect& predicate, uint64_t seed) const override;
 
  private:
   /// Everything a budgeted fan-out needs, priced with ONE MCF walk per
   /// shard: each shard's WorkPlan (handed back to the shard for
-  /// execution, so the walk is never repeated) and its AnswerOptions —
-  /// split unit budget, pass-through soft deadline, decorrelated
-  /// per-shard seeds.
+  /// execution, so the walk is never repeated — and carrying its slice of
+  /// the global priority order) and its AnswerOptions — exact admitted
+  /// unit budget, pass-through soft deadline, decorrelated per-shard
+  /// seeds.
   struct BudgetedFanOut {
     std::vector<WorkPlan> plans;
     std::vector<AnswerOptions> options;

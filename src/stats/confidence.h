@@ -16,6 +16,50 @@ inline constexpr double kLambda90 = 1.645;
 inline constexpr double kLambda95 = 1.960;
 inline constexpr double kLambda99 = 2.576;
 
+/// The two-sided standard-normal quantile for an arbitrary confidence
+/// level in (0, 1): LambdaForConfidence(0.99) ~= 2.576. Acklam's rational
+/// approximation of the inverse normal CDF (relative error < 1.15e-9 —
+/// far below the CLT approximation error the interval already carries).
+/// Used by the scheduler's stopping conditions, where the caller picks the
+/// confidence level at submission time instead of from the kLambda table.
+inline double LambdaForConfidence(double confidence) {
+  double p = 0.5 * (1.0 + confidence);  // two-sided -> upper-tail quantile
+  if (p < 1e-12) p = 1e-12;
+  if (p > 1.0 - 1e-12) p = 1.0 - 1e-12;
+
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
 /// Finite population correction factor (N-K)/(N-1) applied to the variance
 /// of a mean estimated from a without-replacement sample of size K out of N
 /// (footnote 1 in the paper). Returns 1 when it does not apply.

@@ -17,10 +17,12 @@ class FakeSystem final : public AqpSystem {
   FakeSystem(const Dataset& data, double bias, double ci_frac)
       : data_(data), bias_(bias), ci_frac_(ci_frac) {}
 
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
+  std::string Name() const override { return "fake"; }
+  SystemCosts Costs() const override { return {1.5, 4096}; }
 
-  QueryAnswer Answer(const Query& query) const override {
+ protected:
+  QueryAnswer AnswerImpl(const Query& query,
+                         const AnswerOptions&) const override {
     const ExactResult truth = ExactAnswer(data_, query);
     QueryAnswer out;
     out.estimate.value = truth.value * (1.0 + bias_);
@@ -33,8 +35,6 @@ class FakeSystem final : public AqpSystem {
     out.sample_rows_scanned = 100;
     return out;
   }
-  std::string Name() const override { return "fake"; }
-  SystemCosts Costs() const override { return {1.5, 4096}; }
 
  private:
   const Dataset& data_;

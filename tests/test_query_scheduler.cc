@@ -64,10 +64,11 @@ std::vector<Query> MixedWorkload(const Dataset& data, size_t per_agg,
 /// a query "running" or "queued" deterministically in a test.
 class BlockingSystem : public AqpSystem {
  public:
-  using AqpSystem::Answer;
-  using AqpSystem::AnswerMulti;
+  std::string Name() const override { return "blocking"; }
+  SystemCosts Costs() const override { return {}; }
 
-  QueryAnswer Answer(const Query&) const override {
+ protected:
+  QueryAnswer AnswerImpl(const Query&, const AnswerOptions&) const override {
     std::unique_lock<std::mutex> lock(mu_);
     ++entered_;
     cv_.notify_all();
@@ -76,8 +77,8 @@ class BlockingSystem : public AqpSystem {
     answer.estimate.value = 1.0;
     return answer;
   }
-  std::string Name() const override { return "blocking"; }
-  SystemCosts Costs() const override { return {}; }
+
+ public:
 
   void WaitUntilRunning(size_t n) const {
     std::unique_lock<std::mutex> lock(mu_);
@@ -539,6 +540,155 @@ TEST(QueryScheduler, ShutdownUnblocksBackpressuredProducers) {
 // ---------------------------------------------------------------------------
 // ThreadPool shutdown contract (the layer underneath)
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// Progressive answering (AnswerUntil) and admission control
+// ---------------------------------------------------------------------------
+
+/// Streams refinements through the callback until the target CI width is
+/// reached: intermediates carry is_final = false with strictly growing
+/// spend, the final answer satisfies the stopping condition, and it is
+/// bit-identical to a fresh budgeted run at the same cumulative budget.
+TEST(QueryScheduler, AnswerUntilReachesTargetWidthStreamingIntermediates) {
+  const Dataset data = MakeIntelLike(12000, 53);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 2500.0, 11321.0);
+  // Any width the full evaluation achieves is a feasible target.
+  const QueryAnswer full = engine->Answer(q);
+  StoppingCondition condition;
+  condition.confidence = 0.99;
+  condition.target_ci_width = full.estimate.HalfWidth(2.576) * 1.25;
+  ASSERT_GT(condition.target_ci_width, 0.0);
+  condition.min_step_units = 32;  // many small steps -> real streaming
+
+  QueryScheduler scheduler(/*num_threads=*/1);
+  std::mutex mu;
+  std::vector<ScheduledAnswer> stream;
+  std::condition_variable cv;
+  bool finished = false;
+  scheduler.AnswerUntil(*engine, q, condition, {},
+                        [&](ScheduledAnswer answer) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          stream.push_back(std::move(answer));
+                          if (stream.back().is_final) {
+                            finished = true;
+                            cv.notify_all();
+                          }
+                        });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return finished; });
+  }
+  ASSERT_FALSE(stream.empty());
+  const ScheduledAnswer& last = stream.back();
+  ASSERT_TRUE(last.status.ok()) << last.status.ToString();
+  EXPECT_TRUE(last.is_final);
+  EXPECT_LE(last.answer.estimate.HalfWidth(2.576),
+            condition.target_ci_width);
+  for (size_t i = 0; i + 1 < stream.size(); ++i) {
+    EXPECT_FALSE(stream[i].is_final);
+    EXPECT_EQ(stream[i].refinements, i);
+    EXPECT_LE(stream[i].budget_used, stream[i + 1].budget_used);
+  }
+  // Resume-equals-restart at the scheduler level: the final progressive
+  // answer matches a fresh budgeted run at the same cumulative budget and
+  // ticket-derived seed.
+  AnswerOptions fresh;
+  fresh.budget.max_scan_units = last.budget_used;
+  fresh.seed = last.ticket;
+  ExpectAnswersBitIdentical(last.answer, engine->Answer(q, fresh));
+}
+
+/// A zero target width is never satisfied by refinement: the session
+/// refines to exhaustion and the final answer is the full-evidence one.
+TEST(QueryScheduler, AnswerUntilZeroTargetRefinesToExhaustion) {
+  const Dataset data = MakeIntelLike(8000, 59);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  const Query q = RangeQueryOnDim(AggregateType::kAvg, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+  QueryScheduler scheduler(/*num_threads=*/1);
+  const ScheduledAnswer result =
+      scheduler.AnswerUntil(*engine, q, StoppingCondition{}).get();
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.is_final);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.budget_used, result.answer.sample_rows_scanned);
+  // Progressive answers come from the fused session, so the reference is
+  // the fused AVG (the rule-OFF frontier), not the single-aggregate path.
+  AnswerOptions fresh;
+  fresh.budget.max_scan_units = result.budget_used;
+  fresh.seed = result.ticket;
+  ExpectAnswersBitIdentical(result.answer,
+                            engine->AnswerMulti(q.predicate, fresh).avg);
+}
+
+/// Systems without a resumable path — and aggregates outside the fused
+/// SUM/COUNT/AVG set — answer once, in full, exactly as without `until`.
+TEST(QueryScheduler, AnswerUntilWithoutAResumablePathAnswersOnceInFull) {
+  const Dataset data = MakeIntelLike(6000, 61);
+  QueryScheduler scheduler(/*num_threads=*/1);
+  StoppingCondition condition;
+  condition.target_ci_width = 1.0;
+
+  const std::unique_ptr<AqpSystem> uniform = MakeEngine(data, "uniform");
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+  const ScheduledAnswer on_uniform =
+      scheduler.AnswerUntil(*uniform, q, condition).get();
+  ASSERT_TRUE(on_uniform.status.ok());
+  EXPECT_TRUE(on_uniform.is_final);
+  EXPECT_EQ(on_uniform.refinements, 0u);
+  ExpectAnswersBitIdentical(on_uniform.answer, uniform->Answer(q));
+
+  const std::unique_ptr<AqpSystem> pass = MakeEngine(data, "pass");
+  const Query extrema = RangeQueryOnDim(
+      AggregateType::kMin, data.NumPredDims(), 0, 3137.0, 9421.0);
+  const ScheduledAnswer on_min =
+      scheduler.AnswerUntil(*pass, extrema, condition).get();
+  ASSERT_TRUE(on_min.status.ok());
+  EXPECT_EQ(on_min.refinements, 0u);
+  ExpectAnswersBitIdentical(on_min.answer, pass->Answer(extrema));
+}
+
+/// kRejectInfeasible sheds a budget-capable query only when even the
+/// zero-budget answer would miss the deadline; a feasible deadline is
+/// served normally, and the default policy still never sheds.
+TEST(QueryScheduler, RejectInfeasibleShedsOnlyHopelessDeadlines) {
+  const Dataset data = MakeIntelLike(6000, 67);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  ASSERT_TRUE(engine->SupportsBudget());
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(),
+                                  0, 3137.0, 9421.0);
+  QueryScheduler scheduler(/*num_threads=*/1);
+
+  // A zero deadline cannot cover even the fixed per-query overhead.
+  SubmitOptions hopeless;
+  hopeless.deadline = std::chrono::milliseconds(0);
+  hopeless.admission = AdmissionPolicy::kRejectInfeasible;
+  const ScheduledAnswer rejected =
+      scheduler.Submit(*engine, q, hopeless).get();
+  EXPECT_EQ(rejected.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rejected.run_ms, 0.0);  // never ran
+
+  // The same deadline under the default policy still yields the
+  // zero-budget bounds answer rather than an error.
+  SubmitOptions lenient;
+  lenient.deadline = std::chrono::milliseconds(0);
+  const ScheduledAnswer bounds = scheduler.Submit(*engine, q, lenient).get();
+  ASSERT_TRUE(bounds.status.ok()) << bounds.status.ToString();
+  EXPECT_EQ(bounds.budget_total, 0u);
+
+  // A generous deadline passes the admission gate and answers in full.
+  SubmitOptions generous;
+  generous.deadline = std::chrono::milliseconds(60'000);
+  generous.admission = AdmissionPolicy::kRejectInfeasible;
+  const ScheduledAnswer served =
+      scheduler.Submit(*engine, q, generous).get();
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_GT(served.budget_total, 0u);
+  ExpectAnswersBitIdentical(served.answer, engine->Answer(q));
+}
 
 TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
   std::atomic<int> ran{0};

@@ -342,6 +342,92 @@ INSTANTIATE_TEST_SUITE_P(
                   : "");
     });
 
+// ---------------------------------------------------------------------------
+// Refinement monotonicity: resumed sessions tighten, cover, and converge
+// ---------------------------------------------------------------------------
+
+// The progressive-answering acceptance bar: advancing ONE session through
+// the budget ladder {0%, 25%, 50%, 100%} of its plan must behave exactly
+// like the fresh budgeted runs above — mean 99%-CI half-width
+// non-increasing across resume steps, coverage >= 90% at every step — and
+// the final resumed answer must be bit-identical to a fresh run at the
+// full plan. This is the statistical half of the resume-equals-restart
+// contract (the bit-identity half at every intermediate step is
+// test_estimation_session.cc).
+class RefinementMonotonicity : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(RefinementMonotonicity, SessionWidthsTightenWithCoverage) {
+  const EngineCase& param = GetParam();
+  const Dataset data = MakeIntelLike(20000, 139);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 1.0};
+  constexpr size_t kTrials = 40;
+  std::vector<double> mean_width(fractions.size(), 0.0);
+  std::vector<size_t> covered(fractions.size(), 0);
+  for (size_t t = 0; t < kTrials; ++t) {
+    EngineConfig config;
+    config.sample_rate = 0.05;
+    config.partitions = 16;
+    config.strategy = PartitionStrategy::kEqualDepth;
+    config.num_shards = param.num_shards;
+    config.seed = 140 + 9973 * t;
+    auto engine = EngineRegistry::Global().Create(param.name, data, config);
+    PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+    const uint64_t session_seed = 1 + t;
+    const auto session = (*engine)->StartSession(q.predicate, session_seed);
+    ASSERT_NE(session, nullptr);
+    const uint64_t plan = session->PlanCost();
+    for (size_t f = 0; f < fractions.size(); ++f) {
+      const uint64_t cap =
+          static_cast<uint64_t>(fractions[f] * static_cast<double>(plan));
+      const QueryAnswer a = session->AdvanceTo(cap).sum;
+      if (a.estimate.Contains(truth.value, kLambda99)) ++covered[f];
+      mean_width[f] += a.estimate.HalfWidth(kLambda99);
+    }
+    // Convergence: the exhausted session reproduces a fresh full-budget
+    // run bit for bit (same seed, cumulative budget = the whole plan).
+    EXPECT_TRUE(session->Exhausted());
+    AnswerOptions full;
+    full.budget.max_scan_units = plan;
+    full.seed = session_seed;
+    const QueryAnswer resumed = session->AdvanceTo(plan).sum;
+    const QueryAnswer fresh =
+        (*engine)->AnswerMulti(q.predicate, full).sum;
+    EXPECT_EQ(resumed.estimate.value, fresh.estimate.value);
+    EXPECT_EQ(resumed.estimate.variance, fresh.estimate.variance);
+    EXPECT_EQ(resumed.sample_rows_scanned, fresh.sample_rows_scanned);
+    EXPECT_FALSE(resumed.truncated);
+  }
+  for (size_t f = 0; f < fractions.size(); ++f) {
+    const double coverage =
+        static_cast<double>(covered[f]) / static_cast<double>(kTrials);
+    EXPECT_GE(coverage, 0.90)
+        << "resume step " << fractions[f] << " under-covers";
+    mean_width[f] /= static_cast<double>(kTrials);
+    if (f > 0) {
+      EXPECT_LE(mean_width[f], mean_width[f - 1] * (1.0 + 1e-9))
+          << "mean CI half-width grew across the resume step from "
+          << fractions[f - 1] << " (" << mean_width[f - 1] << ") to "
+          << fractions[f] << " (" << mean_width[f] << ")";
+    }
+  }
+  EXPECT_GT(mean_width[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Progressive, RefinementMonotonicity,
+    ::testing::Values(EngineCase{"pass"}, EngineCase{"sharded_pass", 2},
+                      EngineCase{"sharded_pass", 4}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.name +
+             (info.param.num_shards > 1
+                  ? "_k" + std::to_string(info.param.num_shards)
+                  : "");
+    });
+
 // COUNT merges across range shards, where whole shards drop out of the
 // frontier: the additive variance must still cover.
 TEST(ShardedStatistical, RangeShardedCountCoverage) {
