@@ -297,6 +297,89 @@ int main() {
   std::printf("\nasync concurrent-client sweep (QueryScheduler):\n");
   async_table.Print();
 
+  // Semantic-answer-cache sweep: a repeat-heavy workload served through
+  // one shared QueryScheduler over a cache-enabled "pass" engine at
+  // clients in {1, 8, 64}. Three passes per client count over the same
+  // distinct-query set: cold (first touch on a fresh engine — exact-tier
+  // misses), warm (immediate second pass — hits), hot (third pass —
+  // steady state). CI asserts warm-hit p50 < cold p50 per client count.
+  TablePrinter cache_table({"clients", "pass", "p50_ms", "p95_ms", "qps"});
+  {
+    QueryScheduler& scheduler = QueryScheduler::Shared(/*num_threads=*/0);
+    const size_t per_client = std::max<size_t>(NumQueries() / 8, 16);
+    for (const size_t clients : {size_t{1}, size_t{8}, size_t{64}}) {
+      // Each client owns a disjoint slice of a dedicated query pool, so
+      // the cold pass is all first touches (no client warms another's
+      // slice) and the warm/hot passes are all hits.
+      WorkloadOptions cache_wl;
+      cache_wl.agg = AggregateType::kSum;
+      cache_wl.count = clients * per_client;
+      cache_wl.seed = 23 + clients;
+      const std::vector<Query> pool = RandomRangeQueries(data, cache_wl);
+
+      EngineConfig cache_config = config;
+      cache_config.cache.enabled = true;
+      cache_config.cache.max_exact_entries = pool.size();  // no eviction
+      const std::unique_ptr<AqpSystem> engine =
+          MustMakeEngine("pass", data, cache_config);
+      for (const char* pass_name : {"cold", "warm", "hot"}) {
+        std::vector<std::vector<double>> client_run_ms(clients);
+        Stopwatch wall;
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (size_t c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            std::vector<std::future<ScheduledAnswer>> futures;
+            futures.reserve(per_client);
+            for (size_t i = 0; i < per_client; ++i) {
+              futures.push_back(
+                  scheduler.Submit(*engine, pool[c * per_client + i]));
+            }
+            for (auto& f : futures) {
+              ScheduledAnswer answer = f.get();
+              PASS_CHECK_MSG(answer.status.ok(),
+                             answer.status.ToString().c_str());
+              PASS_CHECK(answer.cache_enabled);
+              client_run_ms[c].push_back(answer.run_ms);
+            }
+          });
+        }
+        for (std::thread& t : threads) t.join();
+        const double wall_ms = wall.ElapsedMillis();
+
+        std::vector<double> run_ms;
+        for (const auto& per : client_run_ms) {
+          run_ms.insert(run_ms.end(), per.begin(), per.end());
+        }
+        MethodRow row;
+        char method[48];
+        std::snprintf(method, sizeof(method), "cache_sweep_%s_c%zu",
+                      pass_name, clients);
+        row.method = method;
+        row.p50_latency_ms = Quantile(run_ms, 0.5);
+        row.p95_latency_ms = Quantile(run_ms, 0.95);
+        row.qps_parallel =
+            wall_ms > 0.0
+                ? static_cast<double>(run_ms.size()) / (wall_ms / 1e3)
+                : 0.0;
+        row.parallel_threads = scheduler.num_threads();
+        rows.push_back(row);
+
+        cache_table.AddRow({std::to_string(clients), pass_name,
+                            FormatDouble(row.p50_latency_ms, 4),
+                            FormatDouble(row.p95_latency_ms, 4),
+                            FormatDouble(row.qps_parallel, 6)});
+      }
+      // The passes did what their labels claim: the cold pass missed once
+      // per pooled query, the warm and hot passes hit twice each.
+      const CacheStats stats = engine->AnswerCache()->Stats();
+      PASS_CHECK(stats.exact_misses == pool.size());
+      PASS_CHECK(stats.exact_hits == 2 * pool.size());
+    }
+  }
+  std::printf("\nsemantic-cache cold/warm/hot sweep (QueryScheduler):\n");
+  cache_table.Print();
+
   // Fused-vs-triple AVG sweep: serving SUM+COUNT+AVG for one predicate
   // through a single AnswerMulti call (one synopsis evaluation per
   // shard) versus three per-aggregate Answer calls as they are issued

@@ -1,0 +1,172 @@
+#include "cache/semantic_answer_cache.h"
+
+#include <utility>
+
+namespace pass {
+
+AggregateStats CoveredNodeTier::Get(const PartitionTree& tree, int32_t node) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = map_.find(node);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Read-through: the tree is the ground truth, and the cached copy is the
+  // same bits, so answers never depend on whether this was a hit.
+  const AggregateStats stats = tree.node(node).stats;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (max_entries_ == 0) return stats;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (map_.emplace(node, stats).second) {
+    fifo_.push_back(node);
+    while (map_.size() > max_entries_) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return stats;
+}
+
+void CoveredNodeTier::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_.clear();
+  fifo_.clear();
+}
+
+size_t CoveredNodeTier::entries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return map_.size();
+}
+
+SemanticAnswerCache::SemanticAnswerCache(const CacheConfig& config)
+    : config_(config) {}
+
+SemanticAnswerCache::ExactKey SemanticAnswerCache::MakeKey(
+    const Rect& canonical, AggregateType agg) {
+  ExactKey key;
+  key.rect = canonical;
+  key.agg = static_cast<int8_t>(agg);
+  key.hash = canonical.CanonicalHash();
+  return key;
+}
+
+bool SemanticAnswerCache::Expired(
+    std::chrono::steady_clock::time_point inserted) const {
+  if (config_.ttl.count() == 0) return false;
+  return std::chrono::steady_clock::now() - inserted > config_.ttl;
+}
+
+template <typename Answer>
+std::optional<Answer> SemanticAnswerCache::LookupIn(
+    const ExactMap<Answer>& map, const ExactKey& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = map.find(key);
+  if (it == map.end() || Expired(it->second.inserted)) {
+    exact_misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.answer;
+}
+
+template <typename Answer>
+void SemanticAnswerCache::InsertIn(ExactMap<Answer>* map,
+                                   std::deque<ExactKey>* fifo, ExactKey key,
+                                   const Answer& answer) {
+  if (config_.max_exact_entries == 0) return;
+  Entry<Answer> entry{answer, std::chrono::steady_clock::now()};
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = map->find(key);
+  if (it != map->end()) {
+    it->second = std::move(entry);  // refresh (e.g. a TTL-expired entry)
+    return;
+  }
+  fifo->push_back(key);
+  map->emplace(std::move(key), std::move(entry));
+  while (map->size() > config_.max_exact_entries) {
+    map->erase(fifo->front());
+    fifo->pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<QueryAnswer> SemanticAnswerCache::Lookup(
+    const Rect& canonical, AggregateType agg) const {
+  return LookupIn(single_, MakeKey(canonical, agg));
+}
+
+void SemanticAnswerCache::Insert(const Rect& canonical, AggregateType agg,
+                                 const QueryAnswer& answer) {
+  InsertIn(&single_, &single_fifo_, MakeKey(canonical, agg), answer);
+}
+
+std::optional<MultiAnswer> SemanticAnswerCache::LookupMulti(
+    const Rect& canonical) const {
+  // The multi tier shares the key shape; the aggregate slot just has to be
+  // stable and distinct per tier, and kSum is as good a tag as any.
+  return LookupIn(multi_, MakeKey(canonical, AggregateType::kSum));
+}
+
+void SemanticAnswerCache::InsertMulti(const Rect& canonical,
+                                      const MultiAnswer& answer) {
+  InsertIn(&multi_, &multi_fifo_, MakeKey(canonical, AggregateType::kSum),
+           answer);
+}
+
+bool SemanticAnswerCache::EnsureVersion(uint64_t version) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (dataset_version_ && *dataset_version_ == version) return false;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (dataset_version_ && *dataset_version_ == version) return false;
+  const bool flush = dataset_version_.has_value();
+  dataset_version_ = version;
+  if (!flush) return false;  // first stamp: nothing cached under it yet
+  FlushLocked();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SemanticAnswerCache::Flush() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  FlushLocked();
+}
+
+void SemanticAnswerCache::FlushLocked() {
+  single_.clear();
+  multi_.clear();
+  single_fifo_.clear();
+  multi_fifo_.clear();
+  for (const auto& tier : tiers_) tier->Flush();
+}
+
+CoveredNodeSource* SemanticAnswerCache::MakeTier() {
+  auto tier = std::make_unique<CoveredNodeTier>(config_.max_node_entries);
+  CoveredNodeTier* out = tier.get();
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tiers_.push_back(std::move(tier));
+  return out;
+}
+
+CacheStats SemanticAnswerCache::Stats() const {
+  CacheStats out;
+  out.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+  out.exact_misses = exact_misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  out.exact_entries = single_.size() + multi_.size();
+  for (const auto& tier : tiers_) {
+    out.node_hits += tier->hits();
+    out.node_misses += tier->misses();
+    out.evictions += tier->evictions();
+    out.node_entries += tier->entries();
+  }
+  return out;
+}
+
+}  // namespace pass

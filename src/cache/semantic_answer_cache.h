@@ -1,0 +1,169 @@
+#ifndef PASS_CACHE_SEMANTIC_ANSWER_CACHE_H_
+#define PASS_CACHE_SEMANTIC_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_config.h"
+#include "core/answer.h"
+#include "core/covered_source.h"
+#include "core/query.h"
+#include "geom/rect.h"
+
+namespace pass {
+
+/// One snapshot of the cache's counters, cheap enough to copy onto every
+/// ScheduledAnswer. Counters are cumulative since construction (or the
+/// last explicit reset); per-query deltas are the caller's subtraction.
+struct CacheStats {
+  uint64_t exact_hits = 0;    // whole answers served from the exact tier
+  uint64_t exact_misses = 0;  // exact-tier probes that fell through
+  uint64_t node_hits = 0;     // covered-node aggregates served from tiers
+  uint64_t node_misses = 0;   // covered-node reads that went to the tree
+  uint64_t evictions = 0;     // capacity evictions, both tiers
+  uint64_t invalidations = 0; // dataset-version flushes
+  size_t exact_entries = 0;   // resident whole answers (single + multi)
+  size_t node_entries = 0;    // resident node aggregates, all tiers
+};
+
+/// The covered-node tier: a bounded, read-through map from partition-tree
+/// node id to that node's exact AggregateStats. Values are copies of
+/// tree.node(id).stats, so estimates assembled through the tier are
+/// bit-identical to direct tree reads — the tier's work today is
+/// hit/miss accounting and overlap reuse across predicates; its purpose
+/// is to be the node store an out-of-core tree reads through. Node ids
+/// are tree-local, so every member tree of an engine gets its own tier
+/// (SemanticAnswerCache::MakeTier). Thread-safe: lookups take a shared
+/// lock, inserts a unique one; eviction is insertion-order (FIFO) so hits
+/// never need the exclusive lock.
+class CoveredNodeTier final : public CoveredNodeSource {
+ public:
+  explicit CoveredNodeTier(size_t max_entries) : max_entries_(max_entries) {}
+
+  AggregateStats Get(const PartitionTree& tree, int32_t node) override;
+
+  void Flush();
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t entries() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<int32_t, AggregateStats> map_;
+  std::deque<int32_t> fifo_;  // insertion order, for capacity eviction
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+/// The semantic answer cache behind EngineConfig::cache: reuse across
+/// repeated and overlapping predicate rectangles, in two tiers.
+///
+///  * Exact-match tier — whole QueryAnswer / MultiAnswer values keyed by
+///    (canonical predicate rectangle, aggregate). Only unbudgeted answers
+///    enter it: with an unlimited budget an answer is a deterministic
+///    function of the predicate alone (the seed only orders work the
+///    budget might exclude), so a hit replays the exact bits a fresh
+///    evaluation would produce. Budgeted and deadline answers bypass the
+///    tier entirely.
+///
+///  * Covered-node tier — per-node exact aggregates (CoveredNodeTier
+///    above), shared by every query whose MCF frontier covers the node,
+///    which is how overlapping-but-different rectangles reuse each
+///    other's covered mass.
+///
+/// Both tiers flush together when the dataset-version stamp changes
+/// (EnsureVersion), size-bound with FIFO eviction, and serve concurrent
+/// readers under shared locks. The cache implements CoveredCacheHost so
+/// an engine's member trees can request their tiers during attachment.
+class SemanticAnswerCache final : public CoveredCacheHost {
+ public:
+  explicit SemanticAnswerCache(const CacheConfig& config);
+
+  /// Exact tier. `canonical` must be Rect::Canonical() of the predicate
+  /// (the caller canonicalizes once and reuses the rect for the insert).
+  std::optional<QueryAnswer> Lookup(const Rect& canonical,
+                                    AggregateType agg) const;
+  void Insert(const Rect& canonical, AggregateType agg,
+              const QueryAnswer& answer);
+  std::optional<MultiAnswer> LookupMulti(const Rect& canonical) const;
+  void InsertMulti(const Rect& canonical, const MultiAnswer& answer);
+
+  /// Stamps the dataset version, flushing BOTH tiers when it changed
+  /// since the last call (counted in CacheStats::invalidations). The
+  /// first call only records the stamp. Returns true when a flush ran.
+  bool EnsureVersion(uint64_t version);
+
+  /// Unconditionally empties both tiers (counters are kept).
+  void Flush();
+
+  // CoveredCacheHost: one covered-node tier per member tree, owned here.
+  CoveredNodeSource* MakeTier() override;
+
+  CacheStats Stats() const;
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct ExactKey {
+    Rect rect;  // canonical form
+    int8_t agg = 0;
+    uint64_t hash = 0;  // precomputed CanonicalHash of `rect`
+    bool operator==(const ExactKey& other) const {
+      return agg == other.agg && rect == other.rect;
+    }
+  };
+  struct ExactKeyHash {
+    size_t operator()(const ExactKey& key) const {
+      return static_cast<size_t>(key.hash * 31u +
+                                 static_cast<uint64_t>(key.agg));
+    }
+  };
+  template <typename Answer>
+  struct Entry {
+    Answer answer;
+    std::chrono::steady_clock::time_point inserted;
+  };
+  template <typename Answer>
+  using ExactMap = std::unordered_map<ExactKey, Entry<Answer>, ExactKeyHash>;
+
+  static ExactKey MakeKey(const Rect& canonical, AggregateType agg);
+  bool Expired(std::chrono::steady_clock::time_point inserted) const;
+  template <typename Answer>
+  std::optional<Answer> LookupIn(const ExactMap<Answer>& map,
+                                 const ExactKey& key) const;
+  template <typename Answer>
+  void InsertIn(ExactMap<Answer>* map, std::deque<ExactKey>* fifo,
+                ExactKey key, const Answer& answer);
+  void FlushLocked();
+
+  const CacheConfig config_;
+
+  mutable std::shared_mutex mu_;
+  ExactMap<QueryAnswer> single_;                // guarded by mu_
+  ExactMap<MultiAnswer> multi_;                 // guarded by mu_
+  std::deque<ExactKey> single_fifo_;            // guarded by mu_
+  std::deque<ExactKey> multi_fifo_;             // guarded by mu_
+  std::optional<uint64_t> dataset_version_;     // guarded by mu_
+  std::vector<std::unique_ptr<CoveredNodeTier>> tiers_;  // guarded by mu_
+
+  mutable std::atomic<uint64_t> exact_hits_{0};
+  mutable std::atomic<uint64_t> exact_misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace pass
+
+#endif  // PASS_CACHE_SEMANTIC_ANSWER_CACHE_H_

@@ -12,12 +12,39 @@
 
 namespace pass {
 
+class CoveredCacheHost;
+class SemanticAnswerCache;
+
 /// Build-time / space costs of a synopsis, reported alongside accuracy in
 /// the paper's Table 1 and Table 2.
 struct SystemCosts {
   double build_seconds = 0.0;
   uint64_t storage_bytes = 0;  // synopsis payload (samples + aggregates)
 };
+
+/// The zero-match answer every system returns for a provably-empty
+/// predicate (Rect::Degenerate — inverted or NaN bounds, zero dims): no
+/// row can match, so SUM and COUNT are exactly 0 with [0, 0] hard bounds,
+/// while AVG/MIN/MAX are undefined over the empty set and report 0 with no
+/// bounds. Diagnostics are all zero — the index was never consulted.
+inline QueryAnswer EmptyPredicateAnswer(AggregateType agg) {
+  QueryAnswer out;
+  out.exact = true;
+  if (agg == AggregateType::kSum || agg == AggregateType::kCount) {
+    out.hard_lb = 0.0;
+    out.hard_ub = 0.0;
+  }
+  return out;
+}
+
+inline MultiAnswer EmptyPredicateMultiAnswer() {
+  MultiAnswer out;
+  out.fused = true;
+  out.sum = EmptyPredicateAnswer(AggregateType::kSum);
+  out.count = EmptyPredicateAnswer(AggregateType::kCount);
+  out.avg = EmptyPredicateAnswer(AggregateType::kAvg);
+  return out;
+}
 
 /// Common interface every AQP approach in this repository implements (PASS
 /// and all baselines), so the experiment harness can evaluate them
@@ -42,8 +69,15 @@ class AqpSystem {
   /// `truncated` set. Systems without a resumable scan ignore the budget
   /// and answer in full (they cannot truncate); those that ration work
   /// advertise it via SupportsBudget().
+  ///
+  /// Provably-empty predicates (Rect::Degenerate: inverted intervals, NaN
+  /// bounds, zero dims) short-circuit to the deterministic zero-match
+  /// answer here in the non-virtual entry — they used to flow into the
+  /// index walks unvalidated, where a NaN bound defeats every interval
+  /// comparison.
   QueryAnswer Answer(const Query& query,
                      const AnswerOptions& options = {}) const {
+    if (query.predicate.Degenerate()) return EmptyPredicateAnswer(query.agg);
     return AnswerImpl(query, options);
   }
 
@@ -57,6 +91,7 @@ class AqpSystem {
   /// the system's Answer path may be configured with.
   MultiAnswer AnswerMulti(const Rect& predicate,
                           const AnswerOptions& options = {}) const {
+    if (predicate.Degenerate()) return EmptyPredicateMultiAnswer();
     return AnswerMultiImpl(predicate, options);
   }
 
@@ -69,6 +104,9 @@ class AqpSystem {
   /// must outlive the session.
   std::unique_ptr<EstimationSession> StartSession(const Rect& predicate,
                                                   uint64_t seed = 0) const {
+    // A degenerate predicate has no resumable scan to refine; callers fall
+    // back to Answer(), whose zero-match short-circuit handles it.
+    if (predicate.Degenerate()) return nullptr;
     return StartSessionImpl(predicate, seed);
   }
 
@@ -77,6 +115,19 @@ class AqpSystem {
   /// The scheduler uses it to decide between truncating an overdue query
   /// and shedding it outright.
   virtual bool SupportsBudget() const { return false; }
+
+  /// The semantic answer cache serving this system, or nullptr when
+  /// answers are computed from scratch every time. The scheduler snapshots
+  /// its counters onto ScheduledAnswer; only the CachedSystem decorator
+  /// overrides this.
+  virtual const SemanticAnswerCache* AnswerCache() const { return nullptr; }
+
+  /// Offers this system a covered-node aggregate cache (see
+  /// core/covered_source.h). Tree-backed systems request one tier per
+  /// member tree from the host and route their covered-aggregate reads
+  /// through it; everything else ignores the offer. The host must outlive
+  /// this system.
+  virtual void AttachCoveredNodeCache(CoveredCacheHost* host) { (void)host; }
 
   virtual std::string Name() const = 0;
   virtual SystemCosts Costs() const = 0;

@@ -1,0 +1,42 @@
+#ifndef PASS_CORE_COVERED_SOURCE_H_
+#define PASS_CORE_COVERED_SOURCE_H_
+
+#include <cstdint>
+
+#include "core/aggregate_stats.h"
+#include "core/partition_tree.h"
+
+namespace pass {
+
+/// Read-through source of covered-node aggregates for the estimator. The
+/// MCF walk answers the covered part of every frontier from per-node
+/// AggregateStats; by default those are read straight off the partition
+/// tree. A source interposes on that read so a serving-layer cache can
+/// absorb it (hit/miss accounting today; the node store for an out-of-core
+/// tree tomorrow).
+///
+/// Contract: Get must return exactly tree.node(node).stats — the same
+/// bits, not an approximation — so estimates assembled through a source
+/// are bit-identical to estimates assembled without one. Implementations
+/// must be safe for concurrent Get calls (the scheduler answers many
+/// queries over one synopsis at once).
+class CoveredNodeSource {
+ public:
+  virtual ~CoveredNodeSource() = default;
+  virtual AggregateStats Get(const PartitionTree& tree, int32_t node) = 0;
+};
+
+/// Factory a serving layer passes down through AqpSystem::
+/// AttachCoveredNodeCache so each synopsis can obtain its own tier —
+/// node ids are tree-local, so sharded and ensemble engines need one tier
+/// per member tree. The host retains ownership; returned pointers stay
+/// valid for the host's lifetime.
+class CoveredCacheHost {
+ public:
+  virtual ~CoveredCacheHost() = default;
+  virtual CoveredNodeSource* MakeTier() = 0;
+};
+
+}  // namespace pass
+
+#endif  // PASS_CORE_COVERED_SOURCE_H_

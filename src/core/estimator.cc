@@ -8,6 +8,7 @@
 
 #include "common/macros.h"
 #include "common/rng.h"
+#include "core/covered_source.h"
 #include "core/hard_bounds.h"
 
 namespace pass {
@@ -105,7 +106,17 @@ std::vector<char> SelectUnits(const std::vector<WorkUnit>& units,
 /// aggregate merging, and one not-yet-scanned PartialScan record per
 /// partial leaf. Shared by the one-shot executor and the resumable
 /// session so both assemble answers from identical state.
-FrontierScan InitFrontierScan(const PartitionTree& tree, WorkPlan plan) {
+/// One covered-node aggregate read, through the options' source when one
+/// is attached. The source contract (bit-identical stats) is what keeps
+/// the two branches interchangeable.
+AggregateStats CoveredStatsFor(const PartitionTree& tree, int32_t id,
+                               const EstimatorOptions& opts) {
+  return opts.covered_source ? opts.covered_source->Get(tree, id)
+                             : tree.node(id).stats;
+}
+
+FrontierScan InitFrontierScan(const PartitionTree& tree, WorkPlan plan,
+                              const EstimatorOptions& opts) {
   FrontierScan fs;
   fs.frontier = std::move(plan.frontier);
 
@@ -132,10 +143,10 @@ FrontierScan InitFrontierScan(const PartitionTree& tree, WorkPlan plan) {
   // Exact side: merge covered aggregates; 0-variance nodes contribute their
   // constant value with their full cardinality (the paper's rule).
   for (const int32_t id : fs.frontier.covered) {
-    fs.covered_stats.Merge(tree.node(id).stats);
+    fs.covered_stats.Merge(CoveredStatsFor(tree, id, opts));
   }
   for (const int32_t id : fs.frontier.zero_var) {
-    fs.covered_stats.Merge(tree.node(id).stats);
+    fs.covered_stats.Merge(CoveredStatsFor(tree, id, opts));
   }
 
   fs.partials.reserve(fs.frontier.partial.size());
@@ -163,10 +174,11 @@ FrontierScan InitFrontierScan(const PartitionTree& tree, WorkPlan plan) {
 FrontierScan ExecutePlan(const PartitionTree& tree,
                          const std::vector<StratifiedSample>& samples,
                          const Rect& predicate, WorkPlan plan,
+                         const EstimatorOptions& opts,
                          const WorkBudget& budget, uint64_t seed) {
   const std::vector<char> execute =
       SelectUnits(plan.units, SpendOrder(plan, seed), budget);
-  FrontierScan fs = InitFrontierScan(tree, std::move(plan));
+  FrontierScan fs = InitFrontierScan(tree, std::move(plan), opts);
   QueryAnswer& out = fs.base;
 
   // Scan the admitted stratified samples once, in frontier order — the
@@ -390,7 +402,7 @@ QueryAnswer AnswerOverPlan(const PartitionTree& tree,
                            const EstimatorOptions& opts,
                            const AnswerOptions& answer_options) {
   const FrontierScan fs =
-      ExecutePlan(tree, samples, query.predicate, std::move(plan),
+      ExecutePlan(tree, samples, query.predicate, std::move(plan), opts,
                   answer_options.budget, answer_options.seed);
 
   QueryAnswer out = fs.base;
@@ -508,7 +520,7 @@ MultiAnswer MultiAnswerOverPlan(const PartitionTree& tree,
                                 const EstimatorOptions& opts,
                                 const AnswerOptions& answer_options) {
   const FrontierScan fs =
-      ExecutePlan(tree, samples, predicate, std::move(plan),
+      ExecutePlan(tree, samples, predicate, std::move(plan), opts,
                   answer_options.budget, answer_options.seed);
   return MultiFromFrontier(tree, fs, opts);
 }
@@ -533,7 +545,7 @@ class TreeSession final : public EstimationSession {
         plan_cost_(plan.total_cost),
         units_(plan.units) {
     const std::vector<uint32_t> order = SpendOrder(plan, seed);
-    fs_ = InitFrontierScan(tree_, std::move(plan));
+    fs_ = InitFrontierScan(tree_, std::move(plan), opts_);
     static_base_ = fs_.base;
     // Zero-cost units are admitted at every budget level (they do no
     // work), so scan them up front; the checkpointed walk below meters

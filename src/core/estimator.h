@@ -27,6 +27,8 @@ enum class AvgMode {
   kPaperWeights,
 };
 
+class CoveredNodeSource;
+
 /// Estimator configuration shared by the Synopsis and the baselines that
 /// reuse stratified estimation.
 struct EstimatorOptions {
@@ -35,6 +37,14 @@ struct EstimatorOptions {
   bool zero_variance_rule = true;  // Section 3.4, AVG only
   bool use_fpc = true;             // finite population correction
   bool compute_hard_bounds = true;
+
+  /// Read-through source of covered-node aggregates (see
+  /// core/covered_source.h); nullptr reads tree.node(id).stats directly.
+  /// Sources must return the node's exact stats, so estimates are
+  /// bit-identical either way — the indirection exists for the semantic
+  /// answer cache's covered-node tier. Not owned; must outlive every
+  /// answer and session using these options.
+  CoveredNodeSource* covered_source = nullptr;
 };
 
 /// One schedulable piece of a query's sampled work: the stratified sample

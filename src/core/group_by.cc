@@ -18,6 +18,19 @@ Rect GroupPredicate(const Rect& base_predicate, size_t group_dim,
   return predicate;
 }
 
+/// The distinct group values in first-occurrence order. Duplicated inputs
+/// used to silently execute (and pay for) one query per copy.
+std::vector<double> DedupedGroups(const std::vector<double>& group_values) {
+  std::vector<double> out;
+  out.reserve(group_values.size());
+  for (const double value : group_values) {
+    if (std::find(out.begin(), out.end(), value) == out.end()) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<GroupByRow> AnswerGroupBy(
@@ -25,9 +38,10 @@ std::vector<GroupByRow> AnswerGroupBy(
     size_t group_dim, const std::vector<double>& group_values,
     const AnswerOptions& options) {
   PASS_CHECK(group_dim < base_predicate.NumDims());
+  const std::vector<double> groups = DedupedGroups(group_values);
   std::vector<GroupByRow> out;
-  out.reserve(group_values.size());
-  for (const double value : group_values) {
+  out.reserve(groups.size());
+  for (const double value : groups) {
     Query q;
     q.agg = agg;
     q.predicate = GroupPredicate(base_predicate, group_dim, value);
@@ -43,9 +57,10 @@ std::vector<GroupByMultiRow> AnswerGroupByMulti(
     const AqpSystem& system, const Rect& base_predicate, size_t group_dim,
     const std::vector<double>& group_values, const AnswerOptions& options) {
   PASS_CHECK(group_dim < base_predicate.NumDims());
+  const std::vector<double> groups = DedupedGroups(group_values);
   std::vector<GroupByMultiRow> out;
-  out.reserve(group_values.size());
-  for (const double value : group_values) {
+  out.reserve(groups.size());
+  for (const double value : groups) {
     GroupByMultiRow row;
     row.group_value = value;
     row.answer = system.AnswerMulti(
@@ -55,13 +70,14 @@ std::vector<GroupByMultiRow> AnswerGroupByMulti(
   return out;
 }
 
-std::vector<double> DistinctValues(const Dataset& data, size_t dim,
-                                   size_t max_values) {
+std::optional<std::vector<double>> DistinctValues(const Dataset& data,
+                                                  size_t dim,
+                                                  size_t max_values) {
   PASS_CHECK(dim < data.NumPredDims());
   std::vector<double> values = data.pred_column(dim);
   std::sort(values.begin(), values.end());
   values.erase(std::unique(values.begin(), values.end()), values.end());
-  if (values.size() > max_values) return {};
+  if (values.size() > max_values) return std::nullopt;  // truncated
   return values;
 }
 

@@ -1,6 +1,7 @@
 #ifndef PASS_CORE_GROUP_BY_H_
 #define PASS_CORE_GROUP_BY_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/aqp_system.h"
@@ -27,9 +28,12 @@ struct GroupByMultiRow {
 /// Answers `SELECT group_dim, agg(A) FROM P WHERE base_predicate GROUP BY
 /// group_dim` against any AQP system, for an explicit list of group values
 /// (categorical domains are small by assumption; use DistinctValues to
-/// enumerate them from a dataset). `options` forwards unchanged to every
-/// per-group Answer call — in particular a scan-unit budget applies per
-/// group, so G groups spend at most G times the budget.
+/// enumerate them from a dataset). Repeated group values are answered
+/// once: the result has one row per distinct value, in first-occurrence
+/// order, so duplicated inputs cannot silently multiply the query cost.
+/// `options` forwards unchanged to every per-group Answer call — in
+/// particular a scan-unit budget applies per group, so G distinct groups
+/// spend at most G times the budget.
 std::vector<GroupByRow> AnswerGroupBy(const AqpSystem& system,
                                       AggregateType agg,
                                       const Rect& base_predicate,
@@ -45,11 +49,15 @@ std::vector<GroupByMultiRow> AnswerGroupByMulti(
     const std::vector<double>& group_values, const AnswerOptions& options = {});
 
 /// Enumerates the distinct values of a predicate column, ascending —
-/// intended for categorical/dictionary-encoded columns. `max_values` guards
-/// against misuse on continuous columns (returns an empty vector when
-/// exceeded).
-std::vector<double> DistinctValues(const class Dataset& data, size_t dim,
-                                   size_t max_values = 4096);
+/// intended for categorical/dictionary-encoded columns. `max_values`
+/// guards against misuse on continuous columns: when the column has more
+/// distinct values than that, the result is nullopt (truncation), which
+/// is distinguishable from an empty column (an empty vector). The old
+/// signature returned {} for both, so a high-cardinality column was
+/// indistinguishable from a column with no rows.
+std::optional<std::vector<double>> DistinctValues(const class Dataset& data,
+                                                  size_t dim,
+                                                  size_t max_values = 4096);
 
 }  // namespace pass
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/cache_config.h"
 #include "common/status.h"
 #include "core/estimator.h"
 #include "core/query.h"
@@ -95,6 +96,12 @@ struct EngineConfig {
   /// Estimator configuration shared by the sampling-based engines.
   EstimatorOptions estimator;
 
+  /// Semantic answer cache the registry wraps the engine in when enabled
+  /// (see cache/semantic_answer_cache.h). Off by default; cached answers
+  /// are bit-identical to uncached ones, so this is purely a latency
+  /// knob.
+  CacheConfig cache;
+
   uint64_t seed = 42;
 
   /// Validates the fields every engine depends on. Factories run this
@@ -121,6 +128,13 @@ struct EngineConfig {
         return Status::InvalidArgument(
             "ensemble templates must name at least one dim");
       }
+    }
+    if (cache.enabled && cache.max_exact_entries == 0) {
+      return Status::InvalidArgument(
+          "an enabled cache needs max_exact_entries >= 1");
+    }
+    if (cache.ttl.count() < 0) {
+      return Status::InvalidArgument("cache ttl must be non-negative");
     }
     return Status::Ok();
   }

@@ -6,6 +6,7 @@
 #include "baselines/spn.h"
 #include "baselines/stratified_sampling.h"
 #include "baselines/uniform_sampling.h"
+#include "cache/cached_system.h"
 #include "core/synopsis.h"
 #include "engine/exact_system.h"
 #include "partition/builder.h"
@@ -153,7 +154,13 @@ Result<std::unique_ptr<AqpSystem>> EngineRegistry::Create(
   if (data.NumRows() == 0) {
     return Status::FailedPrecondition("dataset is empty");
   }
-  return it->second(data, config);
+  Result<std::unique_ptr<AqpSystem>> built = it->second(data, config);
+  if (!built.ok() || !config.cache.enabled) return built;
+  // Serve the engine behind the semantic answer cache. The wrapper is
+  // transparent (bit-identical answers, forwarded Name/Costs) and attaches
+  // covered-node tiers to whatever member trees the engine exposes.
+  return std::unique_ptr<AqpSystem>(new CachedSystem(
+      std::move(built).value(), data, config.cache));
 }
 
 bool EngineRegistry::Contains(const std::string& name) const {

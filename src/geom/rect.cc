@@ -1,8 +1,41 @@
 #include "geom/rect.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 namespace pass {
+
+Rect Rect::Canonical() const {
+  if (Degenerate()) return Rect(dims_.size());
+  Rect out = *this;
+  for (auto& iv : out.dims_) {
+    // 0.0 == -0.0, so this assignment only ever rewrites a signed zero.
+    if (iv.lo == 0.0) iv.lo = 0.0;
+    if (iv.hi == 0.0) iv.hi = 0.0;
+  }
+  return out;
+}
+
+uint64_t Rect::CanonicalHash() const {
+  const Rect canon = Canonical();
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;  // FNV-1a prime
+    }
+  };
+  mix(static_cast<uint64_t>(canon.dims_.size()));
+  for (const Interval& iv : canon.dims_) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &iv.lo, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &iv.hi, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
 
 std::string Rect::ToString() const {
   std::string out = "{";

@@ -116,6 +116,29 @@ class Rect {
     }
   }
 
+  /// True when the predicate provably matches nothing: zero dimensions, an
+  /// inverted interval (lo > hi), or a NaN bound. Strictly wider than
+  /// Empty(), whose lo > hi comparison is false for NaN and lets such a
+  /// rect flow into index walks unvalidated.
+  bool Degenerate() const {
+    if (dims_.empty()) return true;
+    for (const auto& iv : dims_) {
+      if (!(iv.lo <= iv.hi)) return true;  // catches lo > hi and NaN
+    }
+    return false;
+  }
+
+  /// Canonical form for hashing and semantic equality: every provably-
+  /// empty rect (see Degenerate) collapses to the one all-empty rect of
+  /// its dimensionality, and signed zeros normalize to +0.0 so bitwise
+  /// hashing matches value equality. Non-degenerate rects are otherwise
+  /// unchanged.
+  Rect Canonical() const;
+
+  /// FNV-1a hash over the canonical form's interval bit patterns. Two
+  /// rects that answer identically (equal canonical forms) hash equal.
+  uint64_t CanonicalHash() const;
+
   std::string ToString() const;
 
   friend bool operator==(const Rect& a, const Rect& b) {

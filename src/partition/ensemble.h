@@ -37,6 +37,13 @@ class SynopsisEnsemble final : public AqpSystem {
   std::string Name() const override { return "PASS-Ensemble"; }
   SystemCosts Costs() const override;
 
+  /// One covered-node tier per member (node ids are tree-local).
+  void AttachCoveredNodeCache(CoveredCacheHost* host) override {
+    for (auto& member : members_) {
+      member.synopsis->AttachCoveredNodeCache(host);
+    }
+  }
+
   const Synopsis& member(size_t i) const {
     PASS_DCHECK(i < members_.size());
     return *members_[i].synopsis;

@@ -54,6 +54,11 @@ class ShardedSynopsis final : public AqpSystem {
   std::string Name() const override { return name_; }
   SystemCosts Costs() const override;
 
+  /// One covered-node tier per shard (node ids are tree-local).
+  void AttachCoveredNodeCache(CoveredCacheHost* host) override {
+    for (auto& shard : shards_) shard->AttachCoveredNodeCache(host);
+  }
+
   /// Total plan cost of this predicate across all shards, in scan units.
   uint64_t PlanScanCost(const Rect& predicate) const;
 

@@ -23,6 +23,7 @@ void Dataset::AddRow(const std::vector<double>& preds, double agg) {
   PASS_CHECK(preds.size() == pred_cols_.size());
   for (size_t i = 0; i < preds.size(); ++i) pred_cols_[i].push_back(preds[i]);
   agg_.push_back(agg);
+  ++version_;
 }
 
 Dataset Dataset::WithPredDims(size_t num_dims) const {

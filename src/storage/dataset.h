@@ -28,6 +28,13 @@ class Dataset {
   size_t NumRows() const { return agg_.size(); }
   size_t NumPredDims() const { return pred_cols_.size(); }
 
+  /// Monotonic mutation stamp: bumped by every AddRow, starting at 0 for
+  /// an empty dataset. The semantic answer cache keys its validity on
+  /// this, so a streaming append invalidates every cached answer derived
+  /// from the previous contents. Derived datasets (Subset, WithPredDims)
+  /// are new objects and carry their own stamps.
+  uint64_t version() const { return version_; }
+
   double agg(size_t row) const {
     PASS_DCHECK(row < agg_.size());
     return agg_[row];
@@ -80,6 +87,7 @@ class Dataset {
   std::vector<std::string> pred_names_;
   std::vector<double> agg_;
   std::vector<std::vector<double>> pred_cols_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace pass

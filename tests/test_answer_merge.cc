@@ -148,6 +148,42 @@ TEST(AnswerMerge, MinWithoutAnyEvidenceUsesWeakestUpperBound) {
   EXPECT_DOUBLE_EQ(*merged.hard_ub, 25.0);
 }
 
+// When EVERY shard reports an empty frontier (the query misses the whole
+// table), the extremum of the empty set has no evidence and no bounds:
+// the merge must stay well-defined — estimate 0, exact, bounds unset —
+// at any shard count, instead of leaking a midpoint or an infinity.
+TEST(AnswerMerge, ExtremumOverAllEmptyShardsIsWellDefined) {
+  for (const size_t k : {2u, 4u}) {
+    for (const AggregateType agg : {AggregateType::kMin, AggregateType::kMax}) {
+      const std::vector<QueryAnswer> parts(k, Disjoint());
+      const QueryAnswer merged = MergeShardAnswers(agg, parts);
+      EXPECT_DOUBLE_EQ(merged.estimate.value, 0.0);
+      EXPECT_DOUBLE_EQ(merged.estimate.variance, 0.0);
+      EXPECT_TRUE(merged.exact);
+      EXPECT_FALSE(merged.hard_lb.has_value());
+      EXPECT_FALSE(merged.hard_ub.has_value());
+      EXPECT_EQ(merged.matched_sample_rows, 0u);
+      EXPECT_EQ(merged.population_rows, 100u * k);
+      EXPECT_EQ(merged.population_rows_skipped, 100u * k);
+    }
+  }
+}
+
+// A mix of empty-frontier shards and one evidence shard: the empty shards
+// must drop out entirely (weight zero), leaving the evidence shard's
+// extremum and bounds untouched.
+TEST(AnswerMerge, ExtremumIgnoresEmptyShardsNextToEvidence) {
+  for (const AggregateType agg : {AggregateType::kMin, AggregateType::kMax}) {
+    const QueryAnswer merged = MergeShardAnswers(
+        agg, {Disjoint(), Sampled(42.0, 0.0, 40.0, 45.0), Disjoint()});
+    EXPECT_DOUBLE_EQ(merged.estimate.value, 42.0);
+    ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+    EXPECT_DOUBLE_EQ(*merged.hard_lb, 40.0);
+    EXPECT_DOUBLE_EQ(*merged.hard_ub, 45.0);
+    EXPECT_FALSE(merged.exact);
+  }
+}
+
 /// One shard's fused multi-answer with known delta-method inputs and a
 /// directly stated (exact) Cov(SUM, COUNT).
 MultiAnswer MakeMulti(double sum, double var_s, double count, double var_c,

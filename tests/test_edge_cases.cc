@@ -2,11 +2,15 @@
 /// boundary logic in practice (Instacart-style predicate columns with few
 /// distinct values, constant columns, single-row tables).
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/exact.h"
 #include "data/generators.h"
 #include "data/workload.h"
+#include "engine/engine_registry.h"
 #include "tests/test_util.h"
 
 namespace pass {
@@ -119,10 +123,73 @@ TEST(EdgeCases, InvertedIntervalMatchesNothing) {
   BuildOptions options;
   options.num_leaves = 4;
   const Synopsis s = MustBuild(data, options);
+  // Inverted intervals are provably empty, so Answer short-circuits to the
+  // exact zero-match answer without consulting the index: estimate 0 with
+  // [0, 0] hard bounds and all-zero work diagnostics.
   const QueryAnswer a =
       s.Answer(RangeQueryOnDim(AggregateType::kSum, 1, 0, 0.9, 0.1));
   EXPECT_DOUBLE_EQ(a.estimate.value, 0.0);
-  EXPECT_DOUBLE_EQ(a.SkipRate(), 1.0);
+  EXPECT_TRUE(a.exact);
+  ASSERT_TRUE(a.hard_lb && a.hard_ub);
+  EXPECT_DOUBLE_EQ(*a.hard_lb, 0.0);
+  EXPECT_DOUBLE_EQ(*a.hard_ub, 0.0);
+  EXPECT_EQ(a.sample_rows_scanned, 0u);
+  EXPECT_EQ(a.nodes_visited, 0u);
+}
+
+// Provably-empty predicates — inverted intervals and NaN bounds — get the
+// deterministic zero-match answer from EVERY registry engine: the NVI
+// entry short-circuits before any engine-specific walk can mishandle them
+// (a NaN bound defeats every interval comparison, so the pre-validation
+// behavior was engine-dependent).
+TEST(EdgeCases, DegeneratePredicatesAreZeroMatchAcrossTheRegistry) {
+  const Dataset data = MakeUniform(2000, 48);
+  EngineConfig config;
+  config.sample_rate = 0.05;
+  config.partitions = 8;
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<Rect> degenerate;
+  Rect inverted = Rect::All(1);
+  inverted.dim(0) = Interval{0.9, 0.1};
+  degenerate.push_back(inverted);
+  Rect nan_lo = Rect::All(1);
+  nan_lo.dim(0) = Interval{nan, 0.5};
+  degenerate.push_back(nan_lo);
+  Rect nan_hi = Rect::All(1);
+  nan_hi.dim(0) = Interval{0.5, nan};
+  degenerate.push_back(nan_hi);
+
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    auto engine = EngineRegistry::Global().Create(name, data, config);
+    ASSERT_TRUE(engine.ok()) << name << ": " << engine.status().ToString();
+    for (const Rect& rect : degenerate) {
+      for (const AggregateType agg :
+           {AggregateType::kSum, AggregateType::kCount, AggregateType::kAvg,
+            AggregateType::kMin, AggregateType::kMax}) {
+        Query q;
+        q.agg = agg;
+        q.predicate = rect;
+        const QueryAnswer a = (*engine)->Answer(q);
+        EXPECT_DOUBLE_EQ(a.estimate.value, 0.0) << name;
+        EXPECT_TRUE(a.exact) << name;
+        if (agg == AggregateType::kSum || agg == AggregateType::kCount) {
+          // SUM/COUNT over the empty set are exactly 0; the extremum and
+          // mean of the empty set are undefined and carry no bounds.
+          ASSERT_TRUE(a.hard_lb && a.hard_ub) << name;
+          EXPECT_DOUBLE_EQ(*a.hard_lb, 0.0) << name;
+          EXPECT_DOUBLE_EQ(*a.hard_ub, 0.0) << name;
+        }
+      }
+      const MultiAnswer multi = (*engine)->AnswerMulti(rect);
+      EXPECT_TRUE(multi.fused) << name;
+      EXPECT_DOUBLE_EQ(multi.sum.estimate.value, 0.0) << name;
+      EXPECT_DOUBLE_EQ(multi.count.estimate.value, 0.0) << name;
+      EXPECT_DOUBLE_EQ(multi.avg.estimate.value, 0.0) << name;
+      // No resumable scan exists over a provably-empty predicate.
+      EXPECT_EQ((*engine)->StartSession(rect), nullptr) << name;
+    }
+  }
 }
 
 TEST(EdgeCases, SampleRateZeroStillHasMinimumLeafSamples) {

@@ -82,15 +82,18 @@ TEST(DeltaEncoding, EmptySample) {
 
 TEST(GroupBy, DistinctValuesOfCategoricalColumn) {
   const Dataset data = MakeInstacartLike(5000, 5, 50);
-  const std::vector<double> values = DistinctValues(data, 0);
-  EXPECT_FALSE(values.empty());
-  EXPECT_LE(values.size(), 50u);
-  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  const auto values = DistinctValues(data, 0);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_FALSE(values->empty());
+  EXPECT_LE(values->size(), 50u);
+  EXPECT_TRUE(std::is_sorted(values->begin(), values->end()));
 }
 
 TEST(GroupBy, RefusesContinuousColumns) {
   const Dataset data = MakeUniform(10000, 6);
-  EXPECT_TRUE(DistinctValues(data, 0, 100).empty());
+  // Truncation is nullopt — distinguishable from a genuinely empty column,
+  // which the old `return {}` conflated with this case.
+  EXPECT_FALSE(DistinctValues(data, 0, 100).has_value());
 }
 
 TEST(GroupBy, PerGroupAnswersMatchEqualityQueries) {
@@ -100,7 +103,7 @@ TEST(GroupBy, PerGroupAnswersMatchEqualityQueries) {
   options.sample_rate = 0.05;
   const Synopsis s = MustBuild(data, options);
 
-  const std::vector<double> groups = DistinctValues(data, 0);
+  const std::vector<double> groups = DistinctValues(data, 0).value();
   const auto rows =
       AnswerGroupBy(s, AggregateType::kCount, Rect::All(1), 0, groups);
   ASSERT_EQ(rows.size(), groups.size());

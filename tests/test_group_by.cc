@@ -47,7 +47,7 @@ Synopsis BuildOverGroups(const Dataset& data) {
 TEST(GroupBy, RowsMatchThePerGroupQueriesTheyRewriteTo) {
   const Dataset data = MakeGroupedData(10000, 601);
   const Synopsis synopsis = BuildOverGroups(data);
-  const std::vector<double> groups = DistinctValues(data, 1);
+  const std::vector<double> groups = DistinctValues(data, 1).value();
   ASSERT_EQ(groups.size(), 5u);
 
   Rect base = Rect::All(data.NumPredDims());
@@ -77,7 +77,7 @@ TEST(GroupBy, RowsMatchThePerGroupQueriesTheyRewriteTo) {
 TEST(GroupBy, FusedRowsMatchAnswerMultiPerGroup) {
   const Dataset data = MakeGroupedData(10000, 603);
   const Synopsis synopsis = BuildOverGroups(data);
-  const std::vector<double> groups = DistinctValues(data, 1);
+  const std::vector<double> groups = DistinctValues(data, 1).value();
 
   Rect base = Rect::All(data.NumPredDims());
   base.dim(0) = Interval{3137.0, 9421.0};
@@ -99,7 +99,7 @@ TEST(GroupBy, FusedRowsMatchAnswerMultiPerGroup) {
 TEST(GroupBy, BudgetOptionsForwardToEveryGroup) {
   const Dataset data = MakeGroupedData(10000, 605);
   const Synopsis synopsis = BuildOverGroups(data);
-  const std::vector<double> groups = DistinctValues(data, 1);
+  const std::vector<double> groups = DistinctValues(data, 1).value();
 
   Rect base = Rect::All(data.NumPredDims());
   base.dim(0) = Interval{2500.0, 15321.0};

@@ -1,5 +1,7 @@
 #include "geom/rect.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace pass {
@@ -117,6 +119,87 @@ TEST(Rect, ToStringMentionsBounds) {
   const std::string s = r.ToString();
   EXPECT_NE(s.find("1.5"), std::string::npos);
   EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization (the semantic answer cache's key normalization)
+// ---------------------------------------------------------------------------
+
+TEST(Rect, DegenerateDetectsInvertedNaNAndZeroDims) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Rect ok(2);
+  ok.dim(0) = {0.0, 1.0};
+  ok.dim(1) = {-5.0, 5.0};
+  EXPECT_FALSE(ok.Degenerate());
+
+  Rect inverted = ok;
+  inverted.dim(1) = {5.0, -5.0};
+  EXPECT_TRUE(inverted.Degenerate());
+
+  // !(lo <= hi) catches a NaN on either side — a NaN bound defeats every
+  // ordinary interval comparison, so it must be caught here.
+  Rect nan_lo = ok;
+  nan_lo.dim(0) = {nan, 1.0};
+  EXPECT_TRUE(nan_lo.Degenerate());
+  Rect nan_hi = ok;
+  nan_hi.dim(1) = {-5.0, nan};
+  EXPECT_TRUE(nan_hi.Degenerate());
+
+  EXPECT_TRUE(Rect(0).Degenerate());
+
+  // A single-point interval is valid, not degenerate (closed bounds).
+  Rect point = ok;
+  point.dim(0) = {2.0, 2.0};
+  EXPECT_FALSE(point.Degenerate());
+}
+
+TEST(Rect, CanonicalCollapsesAllDegenerateFormsToOneKey) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Rect inverted(2);
+  inverted.dim(0) = {0.9, 0.1};
+  inverted.dim(1) = {0.0, 1.0};
+  Rect with_nan(2);
+  with_nan.dim(0) = {0.0, 1.0};
+  with_nan.dim(1) = {nan, 0.5};
+
+  // Every provably-empty rect of a given dimensionality is the same
+  // predicate (it matches nothing), so the two canonical forms — and
+  // their hashes — must coincide. NaN bit patterns must never reach the
+  // hash, or equal predicates would key apart.
+  EXPECT_EQ(inverted.Canonical(), with_nan.Canonical());
+  EXPECT_EQ(inverted.CanonicalHash(), with_nan.CanonicalHash());
+  EXPECT_TRUE(inverted.Canonical().Degenerate());
+}
+
+TEST(Rect, CanonicalIsIdentityOnValidRects) {
+  Rect r(2);
+  r.dim(0) = {0.25, 0.75};
+  r.dim(1) = {-3.0, 14.0};
+  EXPECT_EQ(r.Canonical(), r);
+  EXPECT_EQ(r.Canonical().CanonicalHash(), r.CanonicalHash());
+}
+
+TEST(Rect, CanonicalNormalizesNegativeZero) {
+  Rect pos(1);
+  pos.dim(0) = {0.0, 1.0};
+  Rect neg(1);
+  neg.dim(0) = {-0.0, 1.0};
+  // -0.0 == +0.0 as predicates (IEEE comparison), so the canonical forms
+  // must hash identically despite the differing sign-bit patterns.
+  EXPECT_EQ(pos, neg);
+  EXPECT_EQ(pos.Canonical().CanonicalHash(), neg.Canonical().CanonicalHash());
+}
+
+TEST(Rect, CanonicalHashSeparatesDistinctRects) {
+  Rect a(1);
+  a.dim(0) = {0.0, 1.0};
+  Rect b(1);
+  b.dim(0) = {0.0, 2.0};
+  Rect c(2);
+  c.dim(0) = {0.0, 1.0};
+  c.dim(1) = {0.0, 1.0};
+  EXPECT_NE(a.CanonicalHash(), b.CanonicalHash());
+  EXPECT_NE(a.CanonicalHash(), c.CanonicalHash());
 }
 
 }  // namespace

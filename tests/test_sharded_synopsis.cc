@@ -160,6 +160,43 @@ TEST(ShardedSynopsis, MinMaxMergeTakesShardExtrema) {
   }
 }
 
+// A valid (non-degenerate) predicate that misses the whole table: every
+// shard reports an empty frontier, and the merged MIN/MAX must stay
+// well-defined at K=2 and K=4 — estimate 0, exact, no spurious bounds —
+// for both shard strategies (range sharding makes every shard disjoint,
+// round-robin gives every shard a nonempty tree that still matches
+// nothing).
+TEST(ShardedSynopsis, MinMaxOverAllEmptyShardsIsWellDefined) {
+  const Dataset data = MakeIntelLike(10000, 95);
+  for (const size_t k : {2u, 4u}) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::kRoundRobin, ShardStrategy::kRangeOnDim}) {
+      const ShardedSynopsis sharded = MustBuildSharded(data, k, strategy);
+      for (const AggregateType agg :
+           {AggregateType::kMin, AggregateType::kMax}) {
+        // Domain is [0, 10000): nothing matches [30000, 40000].
+        const Query q = RangeQueryOnDim(agg, data.NumPredDims(), 0, 30000.0,
+                                        40000.0);
+        const QueryAnswer merged = sharded.Answer(q);
+        EXPECT_DOUBLE_EQ(merged.estimate.value, 0.0);
+        EXPECT_TRUE(merged.exact);
+        EXPECT_EQ(merged.matched_sample_rows, 0u);
+        EXPECT_EQ(merged.covered_nodes, 0u);
+        EXPECT_EQ(merged.partial_leaves, 0u);
+        EXPECT_EQ(merged.population_rows_skipped, merged.population_rows);
+        if (merged.hard_lb || merged.hard_ub) {
+          // If bounds survive the merge they must at least be ordered and
+          // finite — never an unmerged +/-infinity sentinel.
+          ASSERT_TRUE(merged.hard_lb && merged.hard_ub);
+          EXPECT_TRUE(std::isfinite(*merged.hard_lb));
+          EXPECT_TRUE(std::isfinite(*merged.hard_ub));
+          EXPECT_LE(*merged.hard_lb, *merged.hard_ub);
+        }
+      }
+    }
+  }
+}
+
 TEST(ShardedSynopsis, AvgMergeIsRatioOfMergedSumAndCount) {
   const Dataset data = MakeIntelLike(12000, 99);
   const ShardedSynopsis sharded =

@@ -122,6 +122,37 @@ INSTANTIATE_TEST_SUITE_P(
                   : "");
     });
 
+// Cache participation must not move the statistics: every trial answers
+// through a cache-enabled engine TWICE and scores the second (cache-hit)
+// answer. Hits replay the uncached bits exactly, so the empirical CI
+// coverage of cached answers must clear the same >= 90% bar as the bare
+// engine's.
+TEST(CachedStatistical, CacheHitAnswersKeepCiCoverage) {
+  const Dataset data = MakeIntelLike(20000, 131);
+  const Query q = RangeQueryOnDim(AggregateType::kSum, 1, 0, 3000.0, 17000.0);
+  const ExactResult truth = ExactAnswer(data, q);
+  ASSERT_GT(truth.matched, 0u);
+
+  const TrialStats stats = RunEstimatorTrials(
+      50, /*base_seed=*/132, truth.value, kLambda95, [&](uint64_t seed) {
+        EngineConfig config;
+        config.sample_rate = 0.05;
+        config.partitions = 16;
+        config.strategy = PartitionStrategy::kEqualDepth;
+        config.seed = seed;
+        config.cache.enabled = true;
+        auto engine = EngineRegistry::Global().Create("pass", data, config);
+        PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+        (*engine)->Answer(q);  // populates the exact tier
+        const QueryAnswer hit = (*engine)->Answer(q);
+        PASS_CHECK((*engine)->AnswerCache()->Stats().exact_hits == 1);
+        return hit.estimate;
+      });
+  ExpectCoverageAtLeast(stats, 0.95, 0.05);
+  ExpectUnbiased(stats, 0.05);
+  ExpectVarianceSane(stats, 0.2, 5.0);
+}
+
 // The merged AVG interval (ratio over the merged SUM/COUNT with the exact
 // within-shard covariance carried by the fused per-shard answers) must
 // also hold its nominal coverage.
