@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/query_scheduler.h"
+#include "kernel/scan_kernel.h"
 #include "stats/quantile.h"
 
 namespace pass::bench {
@@ -39,6 +41,9 @@ struct MethodRow {
   /// Kept separate from qps_sequential (batch wall-clock throughput) so
   /// the two are never compared under one key in the artifact.
   double ops_per_sec = 0.0;
+  /// Simd-sweep rows only: scan throughput at the median per-op cost
+  /// (rows per second through the scan kernel). 0 elsewhere.
+  double rows_per_sec = 0.0;
   /// Anytime-sweep rows only: median CI half-width (lambda = 2.576) of the
   /// SUM answers at this budget level — the accuracy axis of the
   /// latency-vs-width trade the budget buys. 0 elsewhere.
@@ -97,13 +102,14 @@ void WriteJson(const std::string& path, const std::vector<MethodRow>& rows) {
                  "\"p95_latency_ms\": %.6f, \"median_rel_error\": %.6g, "
                  "\"p95_rel_error\": %.6g, \"qps_sequential\": %.1f, "
                  "\"qps_parallel\": %.1f, \"ops_per_sec\": %.1f, "
+                 "\"rows_per_sec\": %.1f, "
                  "\"median_ci_width\": %.6g, \"scan_units\": %llu, "
                  "\"parallel_threads\": %zu}%s\n",
                  r.method.c_str(), r.build_seconds,
                  static_cast<unsigned long long>(r.storage_bytes),
                  r.p50_latency_ms, r.p95_latency_ms, r.median_rel_error,
                  r.p95_rel_error, r.qps_sequential, r.qps_parallel,
-                 r.ops_per_sec, r.median_ci_width,
+                 r.ops_per_sec, r.rows_per_sec, r.median_ci_width,
                  static_cast<unsigned long long>(r.scan_units),
                  r.parallel_threads, i + 1 < rows.size() ? "," : "");
   }
@@ -659,8 +665,10 @@ int main() {
                          insert_rng.LogNormal(1.0, 0.6));
       })));
 
-  // Leaf-sample scan: the per-query hot loop (and the ROADMAP's next SIMD
-  // target), baselined so a future vectorization PR has a before/after.
+  // Leaf-sample scan: the per-query hot loop, now routed through the
+  // branchless scan kernel (kernel/scan_kernel.h); kept under its original
+  // name so the perf trajectory across the vectorization PR stays one
+  // series.
   const StratifiedSample& leaf = default_synopsis.leaf_sample(0);
   Rect scan_all(1);
   scan_all.dim(0) = {0.0, 1e9};
@@ -668,6 +676,90 @@ int main() {
                            TimeKernel(50, 200, [&leaf, &scan_all] {
                              (void)leaf.Scan(scan_all);
                            })));
+
+  // SIMD kernel sweep: the branchy scalar reference vs the branchless
+  // kernel vs the kernel with active-dim pruning (only the last dim
+  // contested — the shape the estimator produces for a partial leaf whose
+  // box the query covers on every other dimension; last rather than first
+  // so the scalar loop's short-circuit order doesn't decide the race, and
+  // the sweep measures full-width scan cost). All three compute the same
+  // mask, so their stats are checked bit-identical before timing; CI
+  // asserts simd p50 <= scalar p50 and pruned rows/sec > scalar at d >= 2.
+  {
+    constexpr size_t kSweepRows = 8192;  // unscaled: in-run comparison only
+    Rng sweep_rng(4242);
+    TablePrinter simd_table({"sweep", "p50_ms/op", "Mrows/s"});
+    for (const size_t d : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      std::vector<std::vector<double>> cols(d,
+                                            std::vector<double>(kSweepRows));
+      std::vector<double> agg(kSweepRows);
+      for (auto& col : cols) {
+        for (double& v : col) v = sweep_rng.UniformDouble();
+      }
+      for (double& a : agg) a = sweep_rng.LogNormal(1.0, 0.6);
+      for (const int sel : {1, 10, 90}) {
+        std::vector<ScanDim> all_dims(d);
+        for (size_t k = 0; k + 1 < d; ++k) {
+          // Provably true for values in [0, 1): what pruning removes.
+          all_dims[k] = ScanDim{cols[k].data(), -1.0, 2.0};
+        }
+        all_dims[d - 1] =
+            ScanDim{cols[d - 1].data(), 0.0, static_cast<double>(sel) / 100.0};
+        const ScanDim contested = all_dims[d - 1];
+
+        const ScanStats want = ScanColumnsScalarRef(agg.data(), kSweepRows,
+                                                    all_dims.data(), d);
+        for (const ScanStats got :
+             {ScanColumns(agg.data(), kSweepRows, all_dims.data(), d),
+              ScanColumns(agg.data(), kSweepRows, &contested, 1)}) {
+          PASS_CHECK_MSG(got.matched == want.matched &&
+                             got.sum == want.sum && got.sum_sq == want.sum_sq,
+                         "simd sweep kernels diverged");
+        }
+
+        struct Variant {
+          const char* name;
+          std::function<void()> op;
+        };
+        const Variant variants[] = {
+            {"scalar",
+             [&] {
+               (void)ScanColumnsScalarRef(agg.data(), kSweepRows,
+                                          all_dims.data(), d);
+             }},
+            {"simd",
+             [&] {
+               (void)ScanColumns(agg.data(), kSweepRows, all_dims.data(), d);
+             }},
+            {"pruned",
+             [&] {
+               (void)ScanColumns(agg.data(), kSweepRows, &contested, 1);
+             }},
+        };
+        for (const Variant& v : variants) {
+          char name[48];
+          std::snprintf(name, sizeof(name), "simd_sweep_%s_d%zu_s%d", v.name,
+                        d, sel);
+          MethodRow row;
+          row.method = name;
+          const std::vector<double> per_op_ms = TimeKernel(30, 50, v.op);
+          row.p50_latency_ms = Quantile(per_op_ms, 0.5);
+          row.p95_latency_ms = Quantile(per_op_ms, 0.95);
+          row.ops_per_sec =
+              row.p50_latency_ms > 0.0 ? 1e3 / row.p50_latency_ms : 0.0;
+          row.rows_per_sec =
+              row.ops_per_sec * static_cast<double>(kSweepRows);
+          simd_table.AddRow({row.method,
+                             FormatDouble(row.p50_latency_ms, 4),
+                             FormatDouble(row.rows_per_sec / 1e6, 1)});
+          rows.push_back(row);
+        }
+      }
+    }
+    std::printf("\nsimd scan-kernel sweep (%s build):\n",
+                ScanKernelVectorized() ? "vectorized" : "scalar");
+    simd_table.Print();
+  }
 
   const Dataset build_data = MakeTaxiDatetime(Scaled(50'000), 78);
   rows.push_back(KernelRow("build_synopsis", TimeKernel(3, 1, [&build_data] {

@@ -1,0 +1,145 @@
+/// Prints a bit-level digest of answers from every registered engine, plus
+/// sharded (K in {2, 4}), resumed-session and cache-hit paths, on a fixed
+/// dataset and workload. Every floating-point field is shown as its raw
+/// hex bit pattern, so two builds can be compared for exact bit-identity
+/// by diffing stdout:
+///
+///   build-simd/answer_digest  > simd.txt
+///   build-scalar/answer_digest > scalar.txt   # -DPASS_SIMD=OFF
+///   diff simd.txt scalar.txt                  # empty when bit-identical
+///
+/// CI runs exactly this diff to gate the scan kernel's determinism
+/// contract (src/kernel/scan_kernel.h) across vectorized and scalar
+/// builds.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/answer.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "engine/engine_registry.h"
+#include "kernel/scan_kernel.h"
+
+namespace {
+
+using namespace pass;
+
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+void PrintAnswer(const char* label, const QueryAnswer& a) {
+  std::printf("%s value=%016" PRIx64 " var=%016" PRIx64, label,
+              Bits(a.estimate.value), Bits(a.estimate.variance));
+  if (a.hard_lb) {
+    std::printf(" lb=%016" PRIx64, Bits(*a.hard_lb));
+  } else {
+    std::printf(" lb=-");
+  }
+  if (a.hard_ub) {
+    std::printf(" ub=%016" PRIx64, Bits(*a.hard_ub));
+  } else {
+    std::printf(" ub=-");
+  }
+  std::printf(" exact=%d truncated=%d\n", a.exact ? 1 : 0,
+              a.truncated ? 1 : 0);
+}
+
+std::unique_ptr<AqpSystem> MakeEngine(const Dataset& data,
+                                      const std::string& name,
+                                      size_t num_shards, bool cache) {
+  EngineConfig config;
+  config.sample_rate = 0.02;
+  config.partitions = 16;
+  config.strategy = PartitionStrategy::kEqualDepth;
+  config.num_shards = num_shards;
+  config.seed = 42;
+  config.cache.enabled = cache;
+  auto engine = EngineRegistry::Global().Create(name, data, config);
+  PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+  return std::move(engine).value();
+}
+
+}  // namespace
+
+int main() {
+  // Note: NOT printed as part of the digest body — the whole point is that
+  // the two builds differ on this flag yet agree on every answer bit.
+  std::fprintf(stderr, "scan kernel: %s\n",
+               ScanKernelVectorized() ? "vectorized" : "scalar");
+
+  const Dataset data = MakeTaxiLike(4000, /*seed=*/9);
+  WorkloadOptions wl;
+  wl.agg = AggregateType::kSum;
+  wl.count = 12;
+  wl.seed = 77;
+  const std::vector<Query> queries = RandomRangeQueries(data, wl);
+  char label[96];
+
+  // Every registered engine on the shared workload.
+  for (const std::string& name : EngineRegistry::Global().Names()) {
+    const auto engine = MakeEngine(data, name, /*num_shards=*/1,
+                                   /*cache=*/false);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::snprintf(label, sizeof(label), "%s q%zu", name.c_str(), i);
+      PrintAnswer(label, engine->Answer(queries[i]));
+    }
+  }
+
+  // Sharded execution at K in {2, 4}.
+  for (const size_t k : {2u, 4u}) {
+    const auto sharded =
+        MakeEngine(data, "sharded_pass", k, /*cache=*/false);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::snprintf(label, sizeof(label), "sharded_k%zu q%zu", k, i);
+      PrintAnswer(label, sharded->Answer(queries[i]));
+    }
+  }
+
+  // Resumed sessions: step a session through a budget ladder; each rung's
+  // intermediate MultiAnswer is part of the digest.
+  for (const size_t k : {1u, 2u, 4u}) {
+    const auto engine =
+        MakeEngine(data, "sharded_pass", k, /*cache=*/false);
+    const auto session = engine->StartSession(queries[0].predicate,
+                                              /*seed=*/5);
+    PASS_CHECK(session != nullptr);
+    const uint64_t plan = session->PlanCost();
+    for (const uint64_t cap : {plan / 4, plan / 2, plan}) {
+      const MultiAnswer step = session->AdvanceTo(cap);
+      std::snprintf(label, sizeof(label),
+                    "session_k%zu cap%" PRIu64 " sum", k, cap);
+      PrintAnswer(label, step.sum);
+      std::snprintf(label, sizeof(label),
+                    "session_k%zu cap%" PRIu64 " count", k, cap);
+      PrintAnswer(label, step.count);
+      std::snprintf(label, sizeof(label),
+                    "session_k%zu cap%" PRIu64 " avg", k, cap);
+      PrintAnswer(label, step.avg);
+    }
+  }
+
+  // Semantic answer cache: the cold miss and the hit it seeds must both
+  // reproduce bit-for-bit.
+  {
+    const auto cached = MakeEngine(data, "pass", /*num_shards=*/1,
+                                   /*cache=*/true);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::snprintf(label, sizeof(label), "cache_cold q%zu", i);
+      PrintAnswer(label, cached->Answer(queries[i]));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      std::snprintf(label, sizeof(label), "cache_hit q%zu", i);
+      PrintAnswer(label, cached->Answer(queries[i]));
+    }
+  }
+  return 0;
+}

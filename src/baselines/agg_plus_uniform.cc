@@ -169,10 +169,12 @@ SystemCosts AggregatePlusUniformSystem::Costs() const {
   SystemCosts c;
   c.build_seconds = build_seconds_;
   const size_t d = sample_.NumDims();
-  c.storage_bytes = sample_.SizeBytes() +
-                    tree_.NumNodes() * (sizeof(AggregateStats) +
-                                        2 * d * sizeof(Interval)) +
-                    sample_leaf_.size() * sizeof(int32_t);
+  const uint64_t tree_bytes =
+      tree_.NumNodes() *
+          (sizeof(AggregateStats) + 2 * d * sizeof(Interval)) +
+      sample_leaf_.size() * sizeof(int32_t);
+  c.storage_bytes = sample_.PayloadBytes() + tree_bytes;
+  c.resident_bytes = sample_.SizeBytes() + tree_bytes;
   return c;
 }
 

@@ -390,6 +390,7 @@ SystemCosts SpnSystem::Costs() const {
                        node.children.size() * sizeof(int32_t) +
                        node.weights.size() * sizeof(double);
   }
+  c.resident_bytes = c.storage_bytes;  // no reservation slack to report
   return c;
 }
 

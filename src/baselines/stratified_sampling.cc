@@ -196,8 +196,14 @@ QueryAnswer StratifiedSamplingSystem::AnswerImpl(
 SystemCosts StratifiedSamplingSystem::Costs() const {
   SystemCosts c;
   c.build_seconds = build_seconds_;
-  for (const Stratum& s : strata_) c.storage_bytes += s.sample.SizeBytes();
-  c.storage_bytes += strata_.size() * (sizeof(uint64_t) + 2 * sizeof(double));
+  for (const Stratum& s : strata_) {
+    c.storage_bytes += s.sample.PayloadBytes();
+    c.resident_bytes += s.sample.SizeBytes();
+  }
+  const uint64_t meta =
+      strata_.size() * (sizeof(uint64_t) + 2 * sizeof(double));
+  c.storage_bytes += meta;
+  c.resident_bytes += meta;
   return c;
 }
 

@@ -100,7 +100,8 @@ QueryAnswer UniformSamplingSystem::AnswerImpl(
 SystemCosts UniformSamplingSystem::Costs() const {
   SystemCosts c;
   c.build_seconds = build_seconds_;
-  c.storage_bytes = sample_.SizeBytes();
+  c.storage_bytes = sample_.PayloadBytes();
+  c.resident_bytes = sample_.SizeBytes();
   return c;
 }
 

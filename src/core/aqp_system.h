@@ -20,6 +20,10 @@ class SemanticAnswerCache;
 struct SystemCosts {
   double build_seconds = 0.0;
   uint64_t storage_bytes = 0;  // synopsis payload (samples + aggregates)
+  /// Bytes actually allocated for the synopsis (vector capacities — the
+  /// real in-memory footprint after Reserve). Always >= storage_bytes;
+  /// the gap is reservation slack the payload accounting must not hide.
+  uint64_t resident_bytes = 0;
 };
 
 /// The zero-match answer every system returns for a provably-empty

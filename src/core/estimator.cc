@@ -199,7 +199,10 @@ FrontierScan ExecutePlan(const PartitionTree& tree,
       p.scanned = false;
     }
     if (p.scanned) {
-      p.scan = sample.Scan(predicate);
+      // Active-dim pruning: the leaf's tight bounding box proves dims the
+      // query fully covers, so the kernel tests contested dims only.
+      // Bit-identical to the unpruned scan (see StratifiedSample::Scan).
+      p.scan = sample.Scan(predicate, n.data_bounds);
       out.sample_rows_scanned += sample.size();
       out.matched_sample_rows += p.scan.matched;
       if (p.scan.matched > 0) {
@@ -581,7 +584,11 @@ class TreeSession final : public EstimationSession {
   void ScanUnit(uint32_t u) {
     PartialScan& p = fs_.partials[u];
     const PartitionTree::Node& n = tree_.node(p.node);
-    p.scan = samples_[static_cast<size_t>(n.leaf_id)].Scan(predicate_);
+    // Same active-dim pruning as ExecutePlan: resumed sessions must stay
+    // bit-identical to fresh budgeted runs, so both sites prune with the
+    // same leaf box.
+    p.scan = samples_[static_cast<size_t>(n.leaf_id)].Scan(predicate_,
+                                                           n.data_bounds);
     p.scanned = true;
   }
 

@@ -1,15 +1,19 @@
 #include "core/exact.h"
 
-#include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/macros.h"
+#include "kernel/scan_kernel.h"
 
 namespace pass {
 namespace {
 
 /// The moments one full scan yields; both public entry points share it so
-/// their matched/sum arithmetic can never diverge.
+/// their matched/sum arithmetic can never diverge. Produced by the same
+/// branchless kernel the estimator's leaf scans use (the ground-truth
+/// path deliberately runs unpruned: every dimension is tested, so exact
+/// answers never depend on the leaf-box pruning invariant).
 struct ScanMoments {
   uint64_t matched = 0;
   double sum = 0.0;
@@ -21,24 +25,14 @@ ScanMoments ScanRows(const Dataset& data, const Rect& predicate) {
   const size_t d = data.NumPredDims();
   PASS_CHECK_MSG(predicate.NumDims() == d,
                  "query dimensionality must match the dataset");
-  ScanMoments out;
-  const size_t n = data.NumRows();
-  for (size_t row = 0; row < n; ++row) {
-    bool match = true;
-    for (size_t dim = 0; dim < d; ++dim) {
-      if (!predicate.dim(dim).Contains(data.pred(dim, row))) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
-    ++out.matched;
-    const double a = data.agg(row);
-    out.sum += a;
-    out.min = std::min(out.min, a);
-    out.max = std::max(out.max, a);
+  std::vector<ScanDim> dims(d);
+  for (size_t k = 0; k < d; ++k) {
+    dims[k] = ScanDim{data.pred_column(k).data(), predicate.dim(k).lo,
+                      predicate.dim(k).hi};
   }
-  return out;
+  const ScanStats s =
+      ScanColumns(data.agg_column().data(), data.NumRows(), dims.data(), d);
+  return ScanMoments{s.matched, s.sum, s.min, s.max};
 }
 
 }  // namespace

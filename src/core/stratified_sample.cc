@@ -1,9 +1,11 @@
 #include "core/stratified_sample.h"
 
-#include <algorithm>
 #include <atomic>
 #include <forward_list>
 #include <mutex>
+#include <vector>
+
+#include "kernel/scan_kernel.h"
 
 namespace pass {
 namespace {
@@ -40,32 +42,48 @@ uint64_t StratifiedSample::TotalScanCalls() {
 }
 
 StratifiedSample::ScanResult StratifiedSample::Scan(const Rect& query) const {
+  return ScanImpl(query, nullptr);
+}
+
+StratifiedSample::ScanResult StratifiedSample::Scan(
+    const Rect& query, const Rect& leaf_box) const {
+  PASS_DCHECK(leaf_box.NumDims() == preds_.size());
+  return ScanImpl(query, &leaf_box);
+}
+
+StratifiedSample::ScanResult StratifiedSample::ScanImpl(
+    const Rect& query, const Rect* leaf_box) const {
   PASS_DCHECK(query.NumDims() == preds_.size());
   LocalScanCounter().fetch_add(1, std::memory_order_relaxed);
-  ScanResult out;
-  const size_t n = agg_.size();
   const size_t d = preds_.size();
-  bool first = true;
-  for (size_t i = 0; i < n; ++i) {
-    bool match = true;
-    for (size_t dim = 0; dim < d; ++dim) {
-      if (!query.dim(dim).Contains(preds_[dim][i])) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
-    const double a = agg_[i];
-    ++out.matched;
-    out.sum += a;
-    out.sum_sq += a * a;
-    if (first) {
-      out.min = out.max = a;
-      first = false;
-    } else {
-      out.min = std::min(out.min, a);
-      out.max = std::max(out.max, a);
-    }
+
+  // Contested dimensions only: a dim whose leaf box the query fully
+  // contains holds for every sampled row, so skipping it leaves the match
+  // mask (and therefore the result bits) unchanged. Stack storage for the
+  // common arities keeps the hot path allocation-free.
+  constexpr size_t kInlineDims = 16;
+  ScanDim inline_dims[kInlineDims];
+  std::vector<ScanDim> heap_dims;
+  ScanDim* dims = inline_dims;
+  if (d > kInlineDims) {
+    heap_dims.resize(d);
+    dims = heap_dims.data();
+  }
+  size_t contested = 0;
+  for (size_t k = 0; k < d; ++k) {
+    const Interval& q = query.dim(k);
+    if (leaf_box != nullptr && q.ContainsInterval(leaf_box->dim(k))) continue;
+    dims[contested++] = ScanDim{preds_[k].data(), q.lo, q.hi};
+  }
+
+  const ScanStats s = ScanColumns(agg_.data(), agg_.size(), dims, contested);
+  ScanResult out;
+  out.matched = s.matched;
+  out.sum = s.sum;
+  out.sum_sq = s.sum_sq;
+  if (s.matched > 0) {
+    out.min = s.min;
+    out.max = s.max;
   }
   return out;
 }

@@ -55,6 +55,8 @@ class StratifiedSample {
 
   /// Matched-tuple moments of one predicate scan: the (k, Σa, Σa²) triple
   /// every stratum estimator needs, plus min/max for MIN/MAX estimation.
+  /// min/max ignore NaN aggregates (IEEE compare-select, matching the
+  /// exact path); they are +inf/-inf if every matched aggregate is NaN.
   struct ScanResult {
     uint64_t matched = 0;
     double sum = 0.0;
@@ -63,7 +65,21 @@ class StratifiedSample {
     double max = 0.0;  // valid iff matched > 0
   };
 
+  /// Scans every dimension against the query. Semantics and bit-exact
+  /// determinism are pinned by the shared kernel contract
+  /// (kernel/scan_kernel.h): NaN values never match, -0.0 == 0.0, and the
+  /// reduction order is fixed so scalar and SIMD builds agree bit-for-bit.
   ScanResult Scan(const Rect& query) const;
+
+  /// Scan with active-dim pruning: a dimension whose `leaf_box` interval
+  /// (the leaf's tight data bounding box) is fully contained by the query
+  /// interval is provably true for every sampled row and is skipped, so
+  /// the inner loop tests only contested dimensions. Bit-identical to the
+  /// unpruned Scan — dropping a provably-true dimension cannot change the
+  /// match mask. Precondition: sampled predicate values lie inside
+  /// `leaf_box` (the tree builder's invariant; NaN predicate values are
+  /// outside it and unsupported by the builders).
+  ScanResult Scan(const Rect& query, const Rect& leaf_box) const;
 
   /// Process-wide count of Scan() invocations. Each thread bumps its own
   /// counter (no shared cache line on the hot scan loop); reads aggregate
@@ -71,12 +87,25 @@ class StratifiedSample {
   /// scans actually performed.
   static uint64_t TotalScanCalls();
 
-  /// Bytes of sample payload (storage accounting for BSS bounds).
-  size_t SizeBytes() const {
+  /// Bytes of sample payload (rows actually stored). This is the
+  /// storage-accounting quantity for BSS bounds — what a serialized
+  /// synopsis would occupy — and what Synopsis::StorageBytes sums.
+  size_t PayloadBytes() const {
     return (preds_.size() + 1) * agg_.size() * sizeof(double);
   }
 
+  /// Bytes of sample storage actually allocated (vector capacity): the
+  /// real in-memory footprint, which Reserve commits before rows arrive
+  /// and swap-remove churn never shrinks. Always >= PayloadBytes().
+  size_t SizeBytes() const {
+    size_t reserved = agg_.capacity();
+    for (const auto& col : preds_) reserved += col.capacity();
+    return reserved * sizeof(double);
+  }
+
  private:
+  ScanResult ScanImpl(const Rect& query, const Rect* leaf_box) const;
+
   std::vector<std::vector<double>> preds_;  // [dim][i]
   std::vector<double> agg_;
 };

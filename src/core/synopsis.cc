@@ -78,7 +78,18 @@ uint64_t Synopsis::StorageBytes() const {
   const uint64_t per_node =
       sizeof(AggregateStats) + 2 * d * sizeof(Interval) + 2 * sizeof(int32_t);
   uint64_t total = per_node * tree_.NumNodes();
-  for (const auto& s : samples_) total += s.SizeBytes();
+  // Payload, not allocated capacity: StorageBytes is the BSS-bound /
+  // Table 2 accounting quantity (what a serialized synopsis occupies).
+  // The in-memory footprint incl. reservation slack is SizeBytes().
+  for (const auto& s : samples_) total += s.PayloadBytes();
+  return total;
+}
+
+uint64_t Synopsis::ResidentBytes() const {
+  uint64_t total = StorageBytes();
+  for (const auto& s : samples_) {
+    total += s.SizeBytes() - s.PayloadBytes();  // reservation slack
+  }
   return total;
 }
 
@@ -100,6 +111,7 @@ SystemCosts Synopsis::Costs() const {
   SystemCosts c;
   c.build_seconds = build_seconds_;
   c.storage_bytes = StorageBytes();
+  c.resident_bytes = ResidentBytes();
   return c;
 }
 

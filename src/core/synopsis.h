@@ -86,6 +86,11 @@ class Synopsis final : public AqpSystem {
   /// leaf samples. This is the quantity bounded in the BSS experiments.
   uint64_t StorageBytes() const;
 
+  /// Allocated bytes: same per-node accounting but leaf samples charged
+  /// at vector capacity (StratifiedSample::SizeBytes) — the in-memory
+  /// footprint including reservoir Reserve slack. >= StorageBytes().
+  uint64_t ResidentBytes() const;
+
   /// Storage under Section 3.4's delta encoding: each leaf sample's
   /// aggregate column stored as float32 deltas from the partition mean
   /// (falling back to raw doubles where quantization would be lossy).

@@ -48,6 +48,7 @@ SystemCosts ExactSystem::Costs() const {
   SystemCosts costs;
   costs.build_seconds = 0.0;  // nothing is precomputed
   costs.storage_bytes = data_->SizeBytes();
+  costs.resident_bytes = data_->SizeBytes();
   return costs;
 }
 

@@ -184,6 +184,16 @@ namespace {
 /// the fixed overhead amortizes into the noise.
 constexpr uint64_t kMinUnitsToCalibrate = 64;
 
+/// Scan throughput of one run (0 when nothing was scanned or the clock
+/// read 0). Surfaced in ScheduledAnswer next to the EWMA the same
+/// (run_ms, units) observation feeds, so operators can sanity-check the
+/// learned per-unit cost against the kernel's actual rows/sec.
+double RowsPerSec(uint64_t rows, double run_ms) {
+  return rows > 0 && run_ms > 0.0
+             ? static_cast<double>(rows) * 1e3 / run_ms
+             : 0.0;
+}
+
 }  // namespace
 
 double QueryScheduler::CalibratedUnitCostMs() const {
@@ -273,11 +283,14 @@ void QueryScheduler::RunTask(Task* raw) {
     result.budget_total = granted;
     result.budget_used = result.answer.sample_rows_scanned;
     result.truncated = result.answer.truncated;
+    result.scan_rows_per_sec = RowsPerSec(result.budget_used, result.run_ms);
     ObserveUnitCost(result.run_ms, result.budget_used);
   } else {
     const SteadyClock::time_point started = SteadyClock::now();
     result.answer = task->system->Answer(task->query);
     result.run_ms = MillisBetween(started, SteadyClock::now());
+    result.scan_rows_per_sec =
+        RowsPerSec(result.answer.sample_rows_scanned, result.run_ms);
     // Deadline-free traffic still warms the deadline-pricing EWMA (scan
     // units consumed are reported by every budget-capable system).
     if (task->system->SupportsBudget()) {
@@ -340,6 +353,8 @@ void QueryScheduler::RunProgressive(Task* task, ScheduledAnswer* result) {
     // The submission still resolves normally, just without refinements.
     result->answer = task->system->Answer(task->query);
     result->run_ms = MillisBetween(started, SteadyClock::now());
+    result->scan_rows_per_sec =
+        RowsPerSec(result->answer.sample_rows_scanned, result->run_ms);
     if (task->system->SupportsBudget()) {
       ObserveUnitCost(result->run_ms, result->answer.sample_rows_scanned);
     }
@@ -383,12 +398,16 @@ void QueryScheduler::RunProgressive(Task* task, ScheduledAnswer* result) {
       const SteadyClock::time_point now = SteadyClock::now();
       intermediate.run_ms = MillisBetween(started, now);
       intermediate.total_ms = MillisBetween(task->admitted, now);
+      intermediate.scan_rows_per_sec =
+          RowsPerSec(intermediate.budget_used, intermediate.run_ms);
       task->done(intermediate);
     }
     cap = cap == 0 ? step : cap * 2;
     ++refinements;
   }
   result->run_ms = MillisBetween(started, SteadyClock::now());
+  result->scan_rows_per_sec =
+      RowsPerSec(result->budget_used, result->run_ms);
   ObserveUnitCost(result->run_ms, result->budget_used);
 }
 

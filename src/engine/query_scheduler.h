@@ -36,6 +36,14 @@ struct ScheduledAnswer {
   uint64_t budget_used = 0;
   bool truncated = false;
 
+  /// Scan throughput this run achieved: sample rows scanned per second of
+  /// run_ms (0 when the run scanned nothing — covered/zero-budget answers
+  /// — or for non-budget-capable systems that report no scan work). The
+  /// human-readable twin of the deadline-pricing EWMA's (run_ms, units)
+  /// observation: per-unit cost in ms ≈ 1e3 / scan_rows_per_sec, so a
+  /// drifting calibration is visible directly in submission results.
+  double scan_rows_per_sec = 0.0;
+
   /// Progressive (AnswerUntil) accounting. Intermediate answers streamed
   /// through the callback carry is_final = false; exactly one final answer
   /// (is_final = true) resolves the submission — it is the only one a

@@ -21,7 +21,13 @@ struct Interval {
   }
 
   bool Empty() const { return lo > hi; }
-  bool Contains(double x) const { return x >= lo && x <= hi; }
+  /// Branchless conjunction, semantics pinned to the scan kernel's
+  /// (kernel/scan_kernel.h): a NaN x (or a NaN bound) never matches —
+  /// both comparisons are false, with no short-circuit path for the
+  /// masked SIMD scan to diverge from — and -0.0 == 0.0 per IEEE-754.
+  bool Contains(double x) const {
+    return (static_cast<int>(x >= lo) & static_cast<int>(x <= hi)) != 0;
+  }
   bool ContainsInterval(const Interval& other) const {
     return other.Empty() || (lo <= other.lo && other.hi <= hi);
   }

@@ -65,6 +65,7 @@ SystemCosts SynopsisEnsemble::Costs() const {
     const SystemCosts c = member.synopsis->Costs();
     total.build_seconds += c.build_seconds;
     total.storage_bytes += c.storage_bytes;
+    total.resident_bytes += c.resident_bytes;
   }
   return total;
 }

@@ -291,6 +291,7 @@ SystemCosts ShardedSynopsis::Costs() const {
     const SystemCosts c = shard->Costs();
     total.build_seconds += c.build_seconds;
     total.storage_bytes += c.storage_bytes;
+    total.resident_bytes += c.resident_bytes;
   }
   return total;
 }

@@ -255,6 +255,26 @@ TEST(QueryScheduler, CallbackOverloadDeliversTheSameBits) {
   }
 }
 
+TEST(QueryScheduler, SurfacesScanThroughputDiagnostic) {
+  const Dataset data = MakeUniform(4000, /*seed=*/11, 1.0, 2.0);
+  const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "pass");
+  const Query q = RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(), 0,
+                                  1.2, 1.8);
+  QueryScheduler scheduler(/*num_threads=*/1);
+  ScheduledAnswer got = scheduler.Submit(*engine, q).get();
+  ASSERT_TRUE(got.status.ok());
+  if (got.answer.sample_rows_scanned > 0 && got.run_ms > 0.0) {
+    // rows/sec is exactly the (rows, run_ms) observation the
+    // deadline-pricing EWMA consumed, in human units.
+    EXPECT_DOUBLE_EQ(
+        got.scan_rows_per_sec,
+        static_cast<double>(got.answer.sample_rows_scanned) * 1e3 /
+            got.run_ms);
+  } else {
+    EXPECT_EQ(got.scan_rows_per_sec, 0.0);
+  }
+}
+
 TEST(QueryScheduler, TicketsAreUniqueAndMonotonicPerSubmitter) {
   const Dataset data = MakeUniform(1000, /*seed=*/5, 1.0, 2.0);
   const std::unique_ptr<AqpSystem> engine = MakeEngine(data, "uniform");

@@ -22,6 +22,26 @@ TEST(Interval, ContainsIsClosed) {
   EXPECT_FALSE(iv.Contains(3.001));
 }
 
+TEST(Interval, ContainsPinsNanSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN value never matches — the kernel contract the branchless
+  // conjunction shares with the masked SIMD scan.
+  EXPECT_FALSE((Interval{0.0, 1.0}).Contains(nan));
+  EXPECT_FALSE(Interval::All().Contains(nan));
+  // A NaN bound matches nothing.
+  EXPECT_FALSE((Interval{nan, 1.0}).Contains(0.5));
+  EXPECT_FALSE((Interval{0.0, nan}).Contains(0.5));
+  EXPECT_FALSE((Interval{nan, nan}).Contains(nan));
+}
+
+TEST(Interval, ContainsTreatsSignedZerosAsEqual) {
+  // -0.0 == 0.0 per IEEE-754, in every bound/value combination.
+  EXPECT_TRUE((Interval{0.0, 0.0}).Contains(-0.0));
+  EXPECT_TRUE((Interval{-0.0, -0.0}).Contains(0.0));
+  EXPECT_TRUE((Interval{-0.0, 1.0}).Contains(0.0));
+  EXPECT_TRUE((Interval{-1.0, -0.0}).Contains(0.0));
+}
+
 TEST(Interval, ContainsIntervalAndEmpty) {
   Interval big{0.0, 10.0};
   Interval small{2.0, 5.0};

@@ -65,9 +65,22 @@ TEST(StratifiedSample, RemoveRowSwapsWithLast) {
   EXPECT_DOUBLE_EQ(s.pred(0, 0), 3.0);
 }
 
-TEST(StratifiedSample, SizeBytesScalesWithDims) {
+TEST(StratifiedSample, PayloadBytesScalesWithDims) {
   const StratifiedSample s = MakeSample();
-  EXPECT_EQ(s.SizeBytes(), 3u * 3u * sizeof(double));
+  EXPECT_EQ(s.PayloadBytes(), 3u * 3u * sizeof(double));
+}
+
+TEST(StratifiedSample, SizeBytesReportsReservedCapacity) {
+  StratifiedSample s(2);
+  s.Reserve(100);
+  // Reserve commits the allocation up front: the footprint reflects it
+  // even before any row arrives, while the payload stays zero.
+  EXPECT_EQ(s.PayloadBytes(), 0u);
+  EXPECT_GE(s.SizeBytes(), 3u * 100u * sizeof(double));
+  s.AddRow({1.0, 10.0}, 5.0);
+  EXPECT_EQ(s.PayloadBytes(), 3u * sizeof(double));
+  EXPECT_GE(s.SizeBytes(), 3u * 100u * sizeof(double));
+  EXPECT_GE(s.SizeBytes(), s.PayloadBytes());
 }
 
 TEST(StratifiedSample, EmptyScan) {
