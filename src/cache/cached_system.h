@@ -27,6 +27,13 @@ namespace pass {
 /// Lifetime: the wrapped dataset must outlive this system (same rule as
 /// the registry's bare engines); the cache outlives the inner engine by
 /// member order, so tier pointers held by inner synopses stay valid.
+///
+/// Thread safety: this decorator holds no lock of its own, deliberately
+/// — all shared mutable state lives in cache_, whose every entry point
+/// locks internally (SemanticAnswerCache's annotated SharedMutex), and
+/// the inner engine is immutable after construction. Adding state here
+/// means adding a common/mutex.h wrapper plus GUARDED_BY, not an
+/// unannotated member (the naked-mutex lint rule holds that line).
 class CachedSystem final : public AqpSystem {
  public:
   CachedSystem(std::unique_ptr<AqpSystem> inner, const Dataset& data,

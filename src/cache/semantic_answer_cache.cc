@@ -6,7 +6,7 @@ namespace pass {
 
 AggregateStats CoveredNodeTier::Get(const PartitionTree& tree, int32_t node) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = map_.find(node);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -18,7 +18,7 @@ AggregateStats CoveredNodeTier::Get(const PartitionTree& tree, int32_t node) {
   const AggregateStats stats = tree.node(node).stats;
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (max_entries_ == 0) return stats;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (map_.emplace(node, stats).second) {
     fifo_.push_back(node);
     while (map_.size() > max_entries_) {
@@ -31,13 +31,13 @@ AggregateStats CoveredNodeTier::Get(const PartitionTree& tree, int32_t node) {
 }
 
 void CoveredNodeTier::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   map_.clear();
   fifo_.clear();
 }
 
 size_t CoveredNodeTier::entries() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return map_.size();
 }
 
@@ -60,9 +60,8 @@ bool SemanticAnswerCache::Expired(
 }
 
 template <typename Answer>
-std::optional<Answer> SemanticAnswerCache::LookupIn(
+std::optional<Answer> SemanticAnswerCache::LookupLocked(
     const ExactMap<Answer>& map, const ExactKey& key) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = map.find(key);
   if (it == map.end() || Expired(it->second.inserted)) {
     exact_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -73,12 +72,10 @@ std::optional<Answer> SemanticAnswerCache::LookupIn(
 }
 
 template <typename Answer>
-void SemanticAnswerCache::InsertIn(ExactMap<Answer>* map,
-                                   std::deque<ExactKey>* fifo, ExactKey key,
-                                   const Answer& answer) {
-  if (config_.max_exact_entries == 0) return;
+void SemanticAnswerCache::InsertLocked(ExactMap<Answer>* map,
+                                       std::deque<ExactKey>* fifo,
+                                       ExactKey key, const Answer& answer) {
   Entry<Answer> entry{answer, std::chrono::steady_clock::now()};
-  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = map->find(key);
   if (it != map->end()) {
     it->second = std::move(entry);  // refresh (e.g. a TTL-expired entry)
@@ -95,33 +92,39 @@ void SemanticAnswerCache::InsertIn(ExactMap<Answer>* map,
 
 std::optional<QueryAnswer> SemanticAnswerCache::Lookup(
     const Rect& canonical, AggregateType agg) const {
-  return LookupIn(single_, MakeKey(canonical, agg));
+  ReaderLock lock(mu_);
+  return LookupLocked(single_, MakeKey(canonical, agg));
 }
 
 void SemanticAnswerCache::Insert(const Rect& canonical, AggregateType agg,
                                  const QueryAnswer& answer) {
-  InsertIn(&single_, &single_fifo_, MakeKey(canonical, agg), answer);
+  if (config_.max_exact_entries == 0) return;
+  WriterLock lock(mu_);
+  InsertLocked(&single_, &single_fifo_, MakeKey(canonical, agg), answer);
 }
 
 std::optional<MultiAnswer> SemanticAnswerCache::LookupMulti(
     const Rect& canonical) const {
   // The multi tier shares the key shape; the aggregate slot just has to be
   // stable and distinct per tier, and kSum is as good a tag as any.
-  return LookupIn(multi_, MakeKey(canonical, AggregateType::kSum));
+  ReaderLock lock(mu_);
+  return LookupLocked(multi_, MakeKey(canonical, AggregateType::kSum));
 }
 
 void SemanticAnswerCache::InsertMulti(const Rect& canonical,
                                       const MultiAnswer& answer) {
-  InsertIn(&multi_, &multi_fifo_, MakeKey(canonical, AggregateType::kSum),
-           answer);
+  if (config_.max_exact_entries == 0) return;
+  WriterLock lock(mu_);
+  InsertLocked(&multi_, &multi_fifo_, MakeKey(canonical, AggregateType::kSum),
+               answer);
 }
 
 bool SemanticAnswerCache::EnsureVersion(uint64_t version) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     if (dataset_version_ && *dataset_version_ == version) return false;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (dataset_version_ && *dataset_version_ == version) return false;
   const bool flush = dataset_version_.has_value();
   dataset_version_ = version;
@@ -132,7 +135,7 @@ bool SemanticAnswerCache::EnsureVersion(uint64_t version) {
 }
 
 void SemanticAnswerCache::Flush() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   FlushLocked();
 }
 
@@ -147,7 +150,7 @@ void SemanticAnswerCache::FlushLocked() {
 CoveredNodeSource* SemanticAnswerCache::MakeTier() {
   auto tier = std::make_unique<CoveredNodeTier>(config_.max_node_entries);
   CoveredNodeTier* out = tier.get();
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   tiers_.push_back(std::move(tier));
   return out;
 }
@@ -158,7 +161,7 @@ CacheStats SemanticAnswerCache::Stats() const {
   out.exact_misses = exact_misses_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.invalidations = invalidations_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   out.exact_entries = single_.size() + multi_.size();
   for (const auto& tier : tiers_) {
     out.node_hits += tier->hits();

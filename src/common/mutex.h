@@ -1,0 +1,132 @@
+#ifndef PASS_COMMON_MUTEX_H_
+#define PASS_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+/// \file
+/// Annotated locking primitives: zero-overhead wrappers over the standard
+/// mutexes that carry the Clang thread-safety capability attributes from
+/// common/thread_annotations.h. The standard types themselves are
+/// invisible to the analysis (libstdc++ ships no annotations), so every
+/// mutex in src/ is one of these — tools/lint/check_invariants.py rule
+/// `naked-mutex` rejects a bare std::mutex / std::shared_mutex /
+/// std::condition_variable anywhere else under src/.
+///
+/// Condition-variable waits deliberately have no predicate-lambda
+/// overload: the analysis checks each function body in isolation, so a
+/// `[this] { return shutdown_; }` predicate would read guarded members in
+/// a context that cannot prove the lock is held. Waits are written as
+/// explicit loops in the annotated function instead:
+///
+///   MutexLock lock(mu_);
+///   while (in_flight_ != 0) all_done_.Wait(mu_);
+
+namespace pass {
+
+/// std::mutex with capability annotations. Lowercase lock/unlock keep it a
+/// BasicLockable, so it still composes with standard helpers where the
+/// analysis is not needed.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with capability annotations: exclusive lock/unlock
+/// plus shared (reader) acquisition.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Exclusive (writer) scoped lock over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared (reader) scoped lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() RELEASE() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to the annotated Mutex. Wait() requires the
+/// capability, matching the std contract that the mutex is held around the
+/// wait; internally it adopts the already-held native handle, waits, and
+/// releases ownership back without unlocking — the capability is held on
+/// entry and on return exactly as the analysis assumes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's scoped lock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pass
+
+#endif  // PASS_COMMON_MUTEX_H_

@@ -1,0 +1,91 @@
+#ifndef PASS_COMMON_THREAD_ANNOTATIONS_H_
+#define PASS_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang thread-safety annotation macros (no-ops on every other compiler),
+/// following the attribute set documented at
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Clang builds in
+/// CI compile with `-Wthread-safety -Werror`, so a lock-discipline
+/// violation against these annotations is a build break, not a TSan-maybe.
+///
+/// The annotations only work on *annotated* capability types —
+/// `std::mutex` is invisible to the analysis — so all locking in src/ goes
+/// through the annotated wrappers in common/mutex.h (enforced by
+/// tools/lint/check_invariants.py rule `naked-mutex`). Usage:
+///
+///   Mutex mu_;
+///   size_t in_flight_ GUARDED_BY(mu_) = 0;       // data needs the lock
+///   void DrainLocked() REQUIRES(mu_);            // caller holds the lock
+///   void Drain() EXCLUDES(mu_);                  // caller must NOT hold it
+
+#if defined(__clang__) && !defined(SWIG)
+#define PASS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PASS_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) PASS_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY PASS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability
+/// (shared suffices for reads, exclusive is required for writes).
+#define GUARDED_BY(x) PASS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) PASS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Documented lock-ordering edges, checked against deadlock cycles.
+#define ACQUIRED_BEFORE(...) \
+  PASS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  PASS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function precondition: the caller holds the capability (exclusively /
+/// at least shared) and still holds it on return.
+#define REQUIRES(...) \
+  PASS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PASS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and does not release it).
+#define ACQUIRE(...) \
+  PASS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PASS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller holds.
+#define RELEASE(...) \
+  PASS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PASS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  PASS_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value.
+#define TRY_ACQUIRE(...) \
+  PASS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  PASS_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function precondition: the caller does NOT hold the capability (the
+/// function acquires and releases it itself; guards against self-deadlock).
+#define EXCLUDES(...) PASS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (e.g. a fail-fast check
+/// in a callback that cannot express REQUIRES through its signature).
+#define ASSERT_CAPABILITY(x) PASS_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PASS_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) PASS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Every use must
+/// carry a comment explaining why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PASS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // PASS_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <forward_list>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "kernel/scan_kernel.h"
 
 namespace pass {
@@ -13,17 +14,20 @@ namespace {
 // Scan-call accounting stays off the shared cache line: each thread
 // increments its own counter (one uncontended relaxed add per leaf scan)
 // and TotalScanCalls sums them. Counters outlive their threads so the
-// total is monotone; the list is static storage, not a leak.
-std::mutex g_scan_counter_mu;
+// total is monotone; the list is static storage, not a leak. The lock
+// guards the list's *structure* (emplace vs. iterate); the counters
+// themselves are atomics and never need it.
+Mutex g_scan_counter_mu;
 
-std::forward_list<std::atomic<uint64_t>>& ScanCounters() {
+std::forward_list<std::atomic<uint64_t>>& ScanCounters()
+    REQUIRES(g_scan_counter_mu) {
   static std::forward_list<std::atomic<uint64_t>> counters;
   return counters;
 }
 
 std::atomic<uint64_t>& LocalScanCounter() {
   thread_local std::atomic<uint64_t>* counter = [] {
-    const std::lock_guard<std::mutex> lock(g_scan_counter_mu);
+    MutexLock lock(g_scan_counter_mu);
     ScanCounters().emplace_front(0);
     return &ScanCounters().front();
   }();
@@ -33,7 +37,7 @@ std::atomic<uint64_t>& LocalScanCounter() {
 }  // namespace
 
 uint64_t StratifiedSample::TotalScanCalls() {
-  const std::lock_guard<std::mutex> lock(g_scan_counter_mu);
+  MutexLock lock(g_scan_counter_mu);
   uint64_t total = 0;
   for (const auto& count : ScanCounters()) {
     total += count.load(std::memory_order_relaxed);

@@ -3,10 +3,10 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "stats/quantile.h"
 
@@ -19,10 +19,10 @@ BatchExecutor& BatchExecutor::Shared(size_t num_threads) {
   // Normalize before keying the cache so Shared(0) and an explicit
   // Shared(hardware_concurrency) share one pool.
   num_threads = ThreadPool::ResolveNumThreads(num_threads);
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex();
   static auto* executors =
       new std::map<size_t, std::unique_ptr<BatchExecutor>>();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(*mu);
   std::unique_ptr<BatchExecutor>& executor = (*executors)[num_threads];
   if (executor == nullptr) {
     executor = std::make_unique<BatchExecutor>(num_threads);

@@ -21,6 +21,12 @@ namespace pass {
 ///   floor(remaining_ms * safety_factor / ewma_unit_cost_ms)
 /// scan units, with the deadline itself attached as the soft cutoff.
 /// Shared by SchedulerOptions and anything else pricing deadlines.
+///
+/// This struct itself is immutable configuration (copied into the
+/// scheduler at construction). The *learned* EWMA state it parameterizes
+/// — QueryScheduler::unit_cost_ms_ / overhead_ms_ — is cross-thread
+/// shared and GUARDED_BY(calibration_mu_); all reads go through the
+/// locked Calibrated*Ms() accessors, never a raw member load.
 struct BudgetCalibration {
   /// Weight of the newest observation in the EWMA. 0 disables learning
   /// (the initial guess is used forever).

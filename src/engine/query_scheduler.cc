@@ -4,10 +4,10 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 #include "stats/confidence.h"
 
 namespace pass {
@@ -54,10 +54,10 @@ QueryScheduler& QueryScheduler::Shared(size_t num_threads) {
   // Normalize before keying the cache so Shared(0) and an explicit
   // Shared(hardware_concurrency) share one pool.
   num_threads = ThreadPool::ResolveNumThreads(num_threads);
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex();
   static auto* schedulers =
       new std::map<size_t, std::unique_ptr<QueryScheduler>>();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(*mu);
   std::unique_ptr<QueryScheduler>& scheduler = (*schedulers)[num_threads];
   if (scheduler == nullptr) {
     scheduler = std::make_unique<QueryScheduler>(num_threads);
@@ -66,7 +66,7 @@ QueryScheduler& QueryScheduler::Shared(size_t num_threads) {
 }
 
 size_t QueryScheduler::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 
@@ -136,13 +136,13 @@ std::future<ScheduledAnswer> QueryScheduler::SubmitInternal(
 
   bool rejected = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Backpressure: a bounded scheduler blocks the producer until a slot
     // frees. Shutdown unblocks every waiting producer into rejection.
     if (max_in_flight_ > 0) {
-      slot_free_.wait(lock, [this] {
-        return shutdown_ || in_flight_ < max_in_flight_;
-      });
+      while (!shutdown_ && in_flight_ >= max_in_flight_) {
+        slot_free_.Wait(mu_);
+      }
     }
     if (shutdown_) {
       rejected = true;
@@ -197,18 +197,18 @@ double RowsPerSec(uint64_t rows, double run_ms) {
 }  // namespace
 
 double QueryScheduler::CalibratedUnitCostMs() const {
-  std::lock_guard<std::mutex> lock(calibration_mu_);
+  MutexLock lock(calibration_mu_);
   return unit_cost_ms_;
 }
 
 double QueryScheduler::CalibratedOverheadMs() const {
-  std::lock_guard<std::mutex> lock(calibration_mu_);
+  MutexLock lock(calibration_mu_);
   return overhead_ms_;
 }
 
 void QueryScheduler::ObserveUnitCost(double run_ms, uint64_t units) {
   if (!(run_ms > 0.0)) return;
-  std::lock_guard<std::mutex> lock(calibration_mu_);
+  MutexLock lock(calibration_mu_);
   if (units >= kMinUnitsToCalibrate) {
     const double observed = run_ms / static_cast<double>(units);
     unit_cost_ms_ += calibration_.ewma_alpha * (observed - unit_cost_ms_);
@@ -307,11 +307,11 @@ void QueryScheduler::RunTask(Task* raw) {
   if (task->done) task->done(std::move(result));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --in_flight_;
   }
   // Wakes both backpressured producers and Drain()/Shutdown() waiters.
-  slot_free_.notify_all();
+  slot_free_.NotifyAll();
 }
 
 namespace {
@@ -412,16 +412,16 @@ void QueryScheduler::RunProgressive(Task* task, ScheduledAnswer* result) {
 }
 
 void QueryScheduler::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  slot_free_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) slot_free_.Wait(mu_);
 }
 
 void QueryScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  slot_free_.notify_all();  // release producers blocked on backpressure
+  slot_free_.NotifyAll();  // release producers blocked on backpressure
   // Always drain — even on a repeat call — so *every* caller returns only
   // once in-flight work is done. Shutdown is the teardown fence callers
   // rely on before destroying the engines they submitted, so a concurrent

@@ -9,7 +9,9 @@
 #include <optional>
 
 #include "cache/semantic_answer_cache.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/answer.h"
 #include "core/aqp_system.h"
 #include "core/query.h"
@@ -214,15 +216,15 @@ class QueryScheduler {
   /// Current EWMA of the per-scan-unit cost (ms per sample row) used to
   /// price deadlines. Starts at the calibration's initial guess and learns
   /// from every completed budget-capable query. Thread-safe.
-  double CalibratedUnitCostMs() const;
+  double CalibratedUnitCostMs() const EXCLUDES(calibration_mu_);
 
   /// Current EWMA of the fixed per-query overhead (ms a zero-budget
   /// answer still pays: walk + split + merge). The admission controller's
   /// kRejectInfeasible floor. Thread-safe.
-  double CalibratedOverheadMs() const;
+  double CalibratedOverheadMs() const EXCLUDES(calibration_mu_);
 
   /// Admitted-but-unresolved submissions right now (queued + running).
-  size_t InFlight() const;
+  size_t InFlight() const EXCLUDES(mu_);
 
   /// Submits one query for asynchronous answering. Blocks only for
   /// backpressure (bounded queue at capacity); otherwise returns
@@ -259,13 +261,13 @@ class QueryScheduler {
   /// Blocks until every admitted submission has resolved. New submissions
   /// are still accepted during and after a drain; with concurrent
   /// producers this is a quiescence point, not an admission barrier.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Graceful shutdown: stops admission (subsequent Submits resolve with
   /// kUnavailable), unblocks producers waiting on backpressure, runs every
   /// already-admitted query to completion, and returns once the queue is
   /// empty. Idempotent; the destructor calls it.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
  private:
   struct Task;
@@ -273,27 +275,29 @@ class QueryScheduler {
   std::future<ScheduledAnswer> SubmitInternal(const AqpSystem& system,
                                               Query query,
                                               const SubmitOptions& options,
-                                              Callback done, bool want_future);
-  void RunTask(Task* task);
+                                              Callback done, bool want_future)
+      EXCLUDES(mu_);
+  void RunTask(Task* task) EXCLUDES(mu_);
   /// The progressive (options.until) path of RunTask: session-resumed
   /// refinement over a doubling budget ladder. Fills everything in
   /// `result` except total_ms.
   void RunProgressive(Task* task, ScheduledAnswer* result);
-  void ObserveUnitCost(double run_ms, uint64_t units);
+  void ObserveUnitCost(double run_ms, uint64_t units)
+      EXCLUDES(calibration_mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable slot_free_;  // backpressure + drain wakeups
-  size_t in_flight_ = 0;
-  uint64_t next_ticket_ = 0;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar slot_free_;  // backpressure + drain wakeups
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  uint64_t next_ticket_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   const size_t max_in_flight_;
   const BudgetCalibration calibration_;
 
   /// Deadline-pricing EWMAs, shared by every worker (their own lock so the
   /// hot admission path never contends with calibration updates).
-  mutable std::mutex calibration_mu_;
-  double unit_cost_ms_;  // guarded by calibration_mu_
-  double overhead_ms_;   // guarded by calibration_mu_
+  mutable Mutex calibration_mu_;
+  double unit_cost_ms_ GUARDED_BY(calibration_mu_);
+  double overhead_ms_ GUARDED_BY(calibration_mu_);
 
   mutable ThreadPool pool_;  // declared last: joins before state above dies
 };

@@ -6,10 +6,13 @@
 
 namespace pass {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  num_threads = ResolveNumThreads(num_threads);
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(ResolveNumThreads(num_threads)) {
+  // Workers already run while the vector fills, but they never touch
+  // workers_; the lock keeps the guarded write visible to the analysis.
+  MutexLock join_lock(join_mu_);
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -18,28 +21,28 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   // join_mu_ serializes concurrent Shutdown callers: joining the same
   // std::thread from two threads is UB, and an early-returning second
   // caller would break the "joins every worker" contract while the first
   // is still mid-join. The joinable() check makes repeat calls no-ops.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
 bool ThreadPool::IsShutdown() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return shutdown_;
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Submitting into a shut-down pool is a caller bug (the contract in
     // the header): loud in Debug, a defined rejection in Release.
     PASS_DCHECK(!shutdown_ && "ThreadPool::Submit after Shutdown");
@@ -47,30 +50,30 @@ bool ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) task_ready_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

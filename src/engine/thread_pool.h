@@ -1,13 +1,14 @@
 #ifndef PASS_ENGINE_THREAD_POOL_H_
 #define PASS_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pass {
 
@@ -41,42 +42,47 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Immutable after construction — readable without any lock even while
+  /// Shutdown() is joining the workers (which workers_ itself is not:
+  /// joining mutates the thread objects, so that vector is join_mu_
+  /// territory; reading its size here used to race a concurrent join).
+  size_t num_threads() const { return num_threads_; }
 
   /// Enqueues a task. Tasks must not throw. Returns true if the task was
   /// accepted; after Shutdown() it asserts in Debug and returns false in
   /// Release (the task is destroyed without running — see the class
   /// comment).
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the pool is fully drained (every submitted task, from
   /// any submitter, has finished). With concurrent submitters this is a
   /// global quiescence point, not a per-caller barrier — BatchExecutor
   /// uses its own per-batch latch for exactly that reason.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Stops admission, drains the queue, and joins every worker. Idempotent
   /// and callable exactly like the destructor (which invokes it). After
   /// Shutdown returns, Submit rejects (see class comment) and Wait returns
   /// immediately.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_, join_mu_);
 
   /// True once Shutdown() has begun. Advisory only — a false return can be
   /// stale by the time the caller acts on it; the authoritative signal is
   /// Submit's return value.
-  bool IsShutdown() const;
+  bool IsShutdown() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::mutex join_mu_;  // serializes concurrent Shutdown joins
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently running tasks
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  Mutex join_mu_ ACQUIRED_AFTER(mu_);  // serializes concurrent Shutdown joins
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // queued + currently running tasks
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  const size_t num_threads_;
+  std::vector<std::thread> workers_ GUARDED_BY(join_mu_);
 };
 
 }  // namespace pass

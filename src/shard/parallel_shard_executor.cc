@@ -1,11 +1,11 @@
 #include "shard/parallel_shard_executor.h"
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "common/macros.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pass {
 
@@ -14,10 +14,10 @@ ParallelShardExecutor::ParallelShardExecutor(size_t num_threads)
 
 ParallelShardExecutor& ParallelShardExecutor::Shared(size_t num_threads) {
   num_threads = ThreadPool::ResolveNumThreads(num_threads);
-  static std::mutex* mu = new std::mutex();
+  static Mutex* mu = new Mutex();
   static auto* executors =
       new std::map<size_t, std::unique_ptr<ParallelShardExecutor>>();
-  std::lock_guard<std::mutex> lock(*mu);
+  MutexLock lock(*mu);
   std::unique_ptr<ParallelShardExecutor>& executor = (*executors)[num_threads];
   if (executor == nullptr) {
     executor = std::make_unique<ParallelShardExecutor>(num_threads);
@@ -35,24 +35,24 @@ void ParallelShardExecutor::ForEachShard(
   // Per-call latch (not ThreadPool::Wait): concurrent callers interleave
   // tasks in the shared pool and each must wait only for its own shards.
   struct Latch {
-    std::mutex mu;
-    std::condition_variable done;
-    size_t remaining;
+    Mutex mu;
+    CondVar done;
+    size_t remaining GUARDED_BY(mu);
   } latch{{}, {}, num_shards};
 
   for (size_t i = 0; i < num_shards; ++i) {
     const bool accepted = pool_.Submit([&fn, &latch, i] {
       fn(i);
-      std::lock_guard<std::mutex> lock(latch.mu);
-      if (--latch.remaining == 0) latch.done.notify_all();
+      MutexLock lock(latch.mu);
+      if (--latch.remaining == 0) latch.done.NotifyAll();
     });
     // A rejected task would leave the latch waiting forever; this
     // executor never shuts its pool down while callers exist, so fail
     // fast rather than hang if that invariant is ever broken.
     PASS_CHECK(accepted);
   }
-  std::unique_lock<std::mutex> lock(latch.mu);
-  latch.done.wait(lock, [&latch] { return latch.remaining == 0; });
+  MutexLock lock(latch.mu);
+  while (latch.remaining != 0) latch.done.Wait(latch.mu);
 }
 
 }  // namespace pass

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 namespace pass {
 
@@ -12,6 +13,40 @@ Dataset::Dataset(std::string agg_name, std::vector<std::string> pred_names)
   PASS_CHECK_MSG(!pred_names_.empty(),
                  "a dataset needs at least one predicate column");
   pred_cols_.resize(pred_names_.size());
+}
+
+Dataset::Dataset(const Dataset& other)
+    : agg_name_(other.agg_name_),
+      pred_names_(other.pred_names_),
+      agg_(other.agg_),
+      pred_cols_(other.pred_cols_),
+      version_(other.version()) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  agg_name_ = other.agg_name_;
+  pred_names_ = other.pred_names_;
+  agg_ = other.agg_;
+  pred_cols_ = other.pred_cols_;
+  version_.store(other.version(), std::memory_order_release);
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : agg_name_(std::move(other.agg_name_)),
+      pred_names_(std::move(other.pred_names_)),
+      agg_(std::move(other.agg_)),
+      pred_cols_(std::move(other.pred_cols_)),
+      version_(other.version()) {}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  agg_name_ = std::move(other.agg_name_);
+  pred_names_ = std::move(other.pred_names_);
+  agg_ = std::move(other.agg_);
+  pred_cols_ = std::move(other.pred_cols_);
+  version_.store(other.version(), std::memory_order_release);
+  return *this;
 }
 
 void Dataset::Reserve(size_t rows) {
@@ -23,7 +58,10 @@ void Dataset::AddRow(const std::vector<double>& preds, double agg) {
   PASS_CHECK(preds.size() == pred_cols_.size());
   for (size_t i = 0; i < preds.size(); ++i) pred_cols_[i].push_back(preds[i]);
   agg_.push_back(agg);
-  ++version_;
+  // Release-publish the stamp after the row lands. Appends are
+  // single-writer; the atomic only makes concurrent version() *reads*
+  // (cache re-stamping during a streaming append) well-defined.
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 Dataset Dataset::WithPredDims(size_t num_dims) const {

@@ -1,6 +1,7 @@
 #ifndef PASS_STORAGE_DATASET_H_
 #define PASS_STORAGE_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,6 +21,13 @@ class Dataset {
   /// predicate dimensionality d (>= 1).
   Dataset(std::string agg_name, std::vector<std::string> pred_names);
 
+  // The atomic version stamp deletes the implicit special members, so
+  // they are spelled out (copies snapshot the stamp). Still value-typed.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+
   void Reserve(size_t rows);
 
   /// Appends a row; `preds.size()` must equal NumPredDims().
@@ -32,8 +40,12 @@ class Dataset {
   /// an empty dataset. The semantic answer cache keys its validity on
   /// this, so a streaming append invalidates every cached answer derived
   /// from the previous contents. Derived datasets (Subset, WithPredDims)
-  /// are new objects and carry their own stamps.
-  uint64_t version() const { return version_; }
+  /// are new objects and carry their own stamps. Atomic so a cache
+  /// re-stamping mid-append observes a coherent counter (the columns
+  /// themselves are single-writer; see AddRow).
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   double agg(size_t row) const {
     PASS_DCHECK(row < agg_.size());
@@ -87,7 +99,7 @@ class Dataset {
   std::vector<std::string> pred_names_;
   std::vector<double> agg_;
   std::vector<std::vector<double>> pred_cols_;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace pass

@@ -1,0 +1,32 @@
+// Lint fixture: violates fp-accumulation (and ONLY that rule).
+//
+// Deliberately broken: reduces floating-point row data outside
+// src/kernel/ three ways the rule bans — std::accumulate over doubles,
+// an OpenMP reduction pragma, and a raw double-pointer accumulation
+// loop. All of these reintroduce summation-order nondeterminism the
+// determinism PR moved behind the kernel reducers. Not compiled into
+// any target — tools/lint's self-test asserts check_invariants.py
+// flags it.
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace pass {
+
+double SumColumnWithAccumulate(const std::vector<double>& column) {
+  // BAD: std::accumulate over doubles outside the kernel.
+  return std::accumulate(column.begin(), column.end(), 0.0);
+}
+
+double SumColumnWithOmp(const double* data, size_t n) {
+  double total = 0.0;
+// BAD: OpenMP reduction order is nondeterministic across runs.
+#pragma omp parallel for reduction(+ : total)
+  for (size_t i = 0; i < n; ++i) {
+    total += data[i];  // BAD: raw double-pointer accumulation loop.
+  }
+  return total;
+}
+
+}  // namespace pass

@@ -1,0 +1,31 @@
+// Lint fixture: violates naked-mutex (and ONLY that rule).
+//
+// Deliberately broken twice: a raw std::mutex member (invisible to
+// Clang's thread-safety analysis — use common/mutex.h wrappers), and a
+// wrapper Mutex with no GUARDED_BY/REQUIRES partner anywhere in the
+// file, i.e. a lock the analysis cannot associate with any data. Not
+// compiled into any target — tools/lint's self-test asserts
+// check_invariants.py flags it.
+
+#include <cstdint>
+#include <mutex>
+
+namespace pass {
+
+class Mutex;  // stand-in for the common/mutex.h wrapper
+
+class UncheckableCounter {
+ public:
+  void Bump();
+
+ private:
+  // BAD: std::mutex is invisible to -Wthread-safety.
+  std::mutex raw_mu_;
+
+  // BAD: wrapper mutex with no partner annotation in this file.
+  Mutex orphan_mu_;
+
+  uint64_t count_ = 0;
+};
+
+}  // namespace pass

@@ -1,0 +1,42 @@
+// Lint fixture: violates nvi-override (and ONLY that rule).
+//
+// Deliberately broken: the subclass redeclares the public NVI entries
+// Answer() and AnswerMulti() instead of overriding the protected
+// AnswerImpl hook, which is exactly the pre-NVI design whose removal
+// the rule protects. Not compiled into any target — tools/lint's
+// self-test asserts check_invariants.py flags it.
+
+#include <memory>
+#include <string>
+
+namespace pass {
+
+struct Query;
+struct QueryAnswer;
+struct MultiAnswer;
+struct AnswerOptions;
+struct Rect;
+struct SystemCosts;
+class EstimationSession;
+class AqpSystem;
+
+class ShadowingSystem final : public AqpSystem {
+ public:
+  // BAD: redeclares the NVI entry, bypassing the degenerate-predicate
+  // short-circuit and the cache decorator.
+  QueryAnswer Answer(const Query& query, const AnswerOptions& options) const;
+
+  // BAD: same for the multi-aggregate entry.
+  MultiAnswer AnswerMulti(const Rect& predicate) const;
+
+  // BAD: same for session creation.
+  std::unique_ptr<EstimationSession> StartSession(const Rect& predicate,
+                                                  unsigned long seed) const;
+
+  std::string Name() const;
+  SystemCosts Costs() const;
+
+  // BAD (by omission): no AnswerImpl override anywhere in the class.
+};
+
+}  // namespace pass

@@ -1,0 +1,32 @@
+// Lint fixture: violates nondeterminism (and ONLY that rule).
+//
+// Deliberately broken: seeds work from the wall clock and libc's hidden
+// PRNG state instead of an explicit uint64 seed, so two identical runs
+// return different answers — which silently poisons the exact cache
+// tier and every golden test. Not compiled into any target —
+// tools/lint's self-test asserts check_invariants.py flags it.
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace pass {
+
+uint64_t WallClockSeed() {
+  // BAD: time() makes the seed differ per run.
+  return static_cast<uint64_t>(time(nullptr));
+}
+
+double HiddenStateSample() {
+  // BAD: rand() draws from process-global hidden state.
+  return static_cast<double>(rand()) / RAND_MAX;
+}
+
+uint64_t EntropySeed() {
+  // BAD: std::random_device is unseeded entropy.
+  std::random_device device;
+  return device();
+}
+
+}  // namespace pass

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Self-test for check_invariants.py, registered as the `lint_selftest`
+ctest target. Two halves:
+
+  1. Sensitivity — every fixture under tests/lint_fixtures/ must be
+     flagged by exactly the rule it exists to violate (and by no other
+     rule, so the fixtures double as false-positive canaries).
+  2. Specificity — the real src/ tree must lint clean, i.e. the blocking
+     `lint_invariants` gate is a zero-finding baseline, not an
+     aspirational one.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(HERE, "check_invariants.py")
+FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
+
+# fixture file -> (rule that must fire, minimum finding count)
+EXPECTED = {
+    "bad_nvi_override.cc": ("nvi-override", 4),
+    "bad_fp_loop.cc": ("fp-accumulation", 3),
+    "bad_rand.cc": ("nondeterminism", 3),
+    "bad_naked_mutex.cc": ("naked-mutex", 2),
+}
+
+ALL_RULES = ("nvi-override", "fp-accumulation", "nondeterminism",
+             "naked-mutex")
+
+
+def run_linter(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    failures = []
+
+    on_disk = sorted(f for f in os.listdir(FIXTURES) if f.endswith(".cc"))
+    if on_disk != sorted(EXPECTED):
+        failures.append(
+            f"fixture set drifted: on disk {on_disk}, expected "
+            f"{sorted(EXPECTED)} — update EXPECTED when adding fixtures")
+
+    for name, (rule, min_findings) in sorted(EXPECTED.items()):
+        path = os.path.join(FIXTURES, name)
+        code, out = run_linter(path)
+        flagged = [line for line in out.splitlines() if f"[{rule}]" in line]
+        if code != 1:
+            failures.append(f"{name}: expected exit 1, got {code}")
+        if len(flagged) < min_findings:
+            failures.append(
+                f"{name}: expected >= {min_findings} [{rule}] findings, "
+                f"got {len(flagged)}:\n{out}")
+        for other in ALL_RULES:
+            if other == rule:
+                continue
+            if f"[{other}]" in out:
+                failures.append(
+                    f"{name}: unexpectedly also flagged by [{other}] — "
+                    f"fixtures must violate exactly one rule:\n{out}")
+
+    code, out = run_linter(os.path.join(REPO, "src"))
+    if code != 0:
+        failures.append(
+            f"src/ must lint clean (the CI gate is blocking); exit {code}"
+            f" with output:\n{out}")
+
+    if failures:
+        print("lint_selftest: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"lint_selftest: OK ({len(EXPECTED)} fixtures detected, "
+          "src/ clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Deep (AST-level) mode of the invariant linter: runs every clang-query
+# matcher script in tools/lint/matchers/ over the first-party TUs of an
+# existing compile_commands build and filters the per-rule exemptions
+# (src/kernel/ for fp_accumulate, src/common/mutex.h for naked_mutex).
+#
+# Usage: tools/lint/run_matchers.sh [BUILD_DIR]   (default: build)
+#
+# This mode needs clang-query on PATH (or $CLANG_QUERY) and is the
+# second opinion — the blocking gate is check_invariants.py, which has
+# no toolchain dependency beyond python3.
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR="${1:-build}"
+CLANG_QUERY="${CLANG_QUERY:-clang-query}"
+
+if ! command -v "$CLANG_QUERY" >/dev/null 2>&1; then
+  echo "run_matchers.sh: '$CLANG_QUERY' not found; install clang-query" \
+       "or set CLANG_QUERY=<binary>." >&2
+  exit 2
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_matchers.sh: $BUILD_DIR/compile_commands.json not found;" \
+       "configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+mapfile -t TUS < <(
+  python3 -c '
+import json, os, sys
+for e in json.load(open(sys.argv[1])):
+    p = os.path.relpath(os.path.normpath(
+        os.path.join(e["directory"], e["file"])), os.getcwd())
+    if p.startswith("src/"):
+        print(p)
+' "$BUILD_DIR/compile_commands.json" | sort -u)
+
+status=0
+for script in tools/lint/matchers/*.cql; do
+  rule="$(basename "$script" .cql)"
+  out="$("$CLANG_QUERY" -p "$BUILD_DIR" -f "$script" "${TUS[@]}" 2>&1 |
+         grep -E '^[^ ]+:[0-9]+:[0-9]+:' || true)"
+  case "$rule" in
+    fp_accumulate) out="$(grep -v 'src/kernel/' <<<"$out" || true)" ;;
+    naked_mutex)   out="$(grep -v 'src/common/mutex\.h' <<<"$out" || true)" ;;
+  esac
+  if [[ -n "$out" ]]; then
+    echo "== $rule"
+    echo "$out"
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "run_matchers.sh: clean"
+fi
+exit $status

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every first-party translation unit using the
+# compile_commands.json of an existing build directory, and fails on any
+# finding (.clang-tidy sets WarningsAsErrors: '*').
+#
+# Usage:
+#   tools/tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to `build`; it must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists turns this on
+# by default). Honors $CLANG_TIDY (default: clang-tidy) and $TIDY_JOBS
+# (default: nproc). run-clang-tidy is used when available; otherwise a
+# plain xargs fan-out does the same thing.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+TIDY_JOBS="${TIDY_JOBS:-$(nproc)}"
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "tidy.sh: '$CLANG_TIDY' not found on PATH." >&2
+  echo "tidy.sh: install clang-tidy or set CLANG_TIDY=<binary>." >&2
+  exit 2
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [[ ! -f "$DB" ]]; then
+  echo "tidy.sh: $DB not found." >&2
+  echo "tidy.sh: configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# First-party TUs only: everything the compile database knows about under
+# src/, tests/, bench/, examples/ — but not lint fixtures (deliberately
+# broken) or anything third-party a future build might add.
+mapfile -t FILES < <(
+  python3 - "$DB" <<'EOF'
+import json, os, sys
+db = json.load(open(sys.argv[1]))
+root = os.getcwd()
+keep = ("src/", "tests/", "bench/", "examples/")
+seen = set()
+for entry in db:
+    path = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    rel = os.path.relpath(path, root)
+    if rel.startswith(keep) and "lint_fixtures" not in rel and rel not in seen:
+        seen.add(rel)
+        print(rel)
+EOF
+)
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "tidy.sh: no first-party files in $DB — wrong build dir?" >&2
+  exit 2
+fi
+
+echo "tidy.sh: checking ${#FILES[@]} files with $CLANG_TIDY (-j$TIDY_JOBS)"
+
+# xargs collects the per-file exit codes: any failure makes it exit
+# non-zero, which -e turns into a job failure.
+printf '%s\0' "${FILES[@]}" |
+  xargs -0 -n 1 -P "$TIDY_JOBS" \
+    "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$@"
+
+echo "tidy.sh: clean"
