@@ -21,6 +21,8 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engine/query_scheduler.h"
+#include "jit/fixed_kernels.h"
+#include "jit/kernel_cache.h"
 #include "kernel/scan_kernel.h"
 #include "stats/quantile.h"
 
@@ -759,6 +761,146 @@ int main() {
     std::printf("\nsimd scan-kernel sweep (%s build):\n",
                 ScanKernelVectorized() ? "vectorized" : "scalar");
     simd_table.Print();
+  }
+
+  // Specialization sweep: the generic runtime-dim kernel vs the two
+  // specialized tiers behind the KernelCache — the compile-time-fixed
+  // ScanColumnsFixed<NDims> (the default dispatch, full kernel ISA) and
+  // the copy-and-patch jit stencil (prefer_stencils opt-in, baseline ISA
+  // by the position-freedom constraint). Only the last dim is contested
+  // (same shape as the simd sweep) and every tier is checked bit-identical
+  // before timing. CI asserts fixed rows/sec >= generic at d >= 2, where
+  // the per-block descriptor loop the specialization deletes is widest;
+  // the jit rows track the stencil tier's measured ISA gap (the reason it
+  // is opt-in — see jit/jit_config.h); the compile_{cold,cached} pair
+  // prices one stencil patch vs a cache hit. Jit rows (and the compile
+  // pair) appear only when the stencil tier passed its build audit +
+  // runtime self-test on this target; the fixed tier requires just
+  // PASS_JIT=ON.
+  {
+    constexpr size_t kSweepRows = 8192;  // unscaled: in-run comparison only
+    Rng jit_rng(4243);
+    TablePrinter jit_table({"sweep", "p50_ms/op", "Mrows/s"});
+    const bool stencils = KernelCache::StencilTierAvailable();
+    JitConfig jit_config;
+    jit_config.prefer_stencils = true;  // jit rows time the stencil tier
+    KernelCache jit_cache(jit_config);
+    for (const size_t d : {size_t{1}, size_t{2}, size_t{4}}) {
+      std::vector<std::vector<double>> cols(d,
+                                            std::vector<double>(kSweepRows));
+      std::vector<double> agg(kSweepRows);
+      for (auto& col : cols) {
+        for (double& v : col) v = jit_rng.UniformDouble();
+      }
+      for (double& a : agg) a = jit_rng.LogNormal(1.0, 0.6);
+      for (const int sel : {1, 10, 90}) {
+        std::vector<ScanDim> all_dims(d);
+        for (size_t k = 0; k + 1 < d; ++k) {
+          all_dims[k] = ScanDim{cols[k].data(), -1.0, 2.0};
+        }
+        all_dims[d - 1] =
+            ScanDim{cols[d - 1].data(), 0.0, static_cast<double>(sel) / 100.0};
+
+        const ScanStats want =
+            ScanColumns(agg.data(), kSweepRows, all_dims.data(), d);
+        const FixedKernelFn fixed_fn = FixedScanKernel(d, AggShape::kFull);
+        if (fixed_fn != nullptr) {
+          ScanStats got;
+          fixed_fn(agg.data(), kSweepRows, all_dims.data(), &got);
+          PASS_CHECK_MSG(got.matched == want.matched && got.sum == want.sum &&
+                             got.min == want.min && got.max == want.max,
+                         "fixed-tier sweep kernel diverged");
+        }
+        if (stencils) {
+          const ScanStats got = jit_cache.Scan(agg.data(), kSweepRows,
+                                               all_dims.data(), d,
+                                               AggShape::kFull);
+          PASS_CHECK_MSG(got.matched == want.matched && got.sum == want.sum &&
+                             got.min == want.min && got.max == want.max,
+                         "jit-tier sweep kernel diverged");
+        }
+
+        struct Variant {
+          const char* name;
+          std::function<void()> op;
+        };
+        std::vector<Variant> variants;
+        variants.push_back({"generic", [&] {
+                              (void)ScanColumns(agg.data(), kSweepRows,
+                                                all_dims.data(), d);
+                            }});
+        if (fixed_fn != nullptr) {
+          variants.push_back({"fixed", [&, fixed_fn] {
+                                ScanStats out;
+                                fixed_fn(agg.data(), kSweepRows,
+                                         all_dims.data(), &out);
+                              }});
+        }
+        if (stencils) {
+          // Warmed above: times the hit path + patched code, not compiles.
+          variants.push_back({"jit", [&] {
+                                (void)jit_cache.Scan(agg.data(), kSweepRows,
+                                                     all_dims.data(), d,
+                                                     AggShape::kFull);
+                              }});
+        }
+        for (const Variant& v : variants) {
+          char name[48];
+          std::snprintf(name, sizeof(name), "jit_sweep_%s_d%zu_s%d", v.name,
+                        d, sel);
+          MethodRow row;
+          row.method = name;
+          const std::vector<double> per_op_ms = TimeKernel(30, 50, v.op);
+          row.p50_latency_ms = Quantile(per_op_ms, 0.5);
+          row.p95_latency_ms = Quantile(per_op_ms, 0.95);
+          row.ops_per_sec =
+              row.p50_latency_ms > 0.0 ? 1e3 / row.p50_latency_ms : 0.0;
+          row.rows_per_sec =
+              row.ops_per_sec * static_cast<double>(kSweepRows);
+          jit_table.AddRow({row.method,
+                            FormatDouble(row.p50_latency_ms, 4),
+                            FormatDouble(row.rows_per_sec / 1e6, 1)});
+          rows.push_back(row);
+        }
+      }
+    }
+    if (stencils) {
+      // Compile cost: every cold op patches a never-seen predicate (the
+      // bound bits are salted per call, so each is a fresh key); the
+      // cached op replays one key forever. Tiny n keeps the scan itself
+      // out of the measurement.
+      JitConfig cold_config;
+      cold_config.max_cached_kernels = 4096;
+      cold_config.prefer_stencils = true;
+      KernelCache cold_cache(cold_config);
+      std::vector<double> tiny_agg(8, 1.0);
+      std::vector<double> tiny_col(8, 0.5);
+      uint64_t salt = 0;
+      for (const bool cold : {true, false}) {
+        MethodRow row;
+        row.method = cold ? "jit_sweep_compile_cold"
+                          : "jit_sweep_compile_cached";
+        const std::vector<double> per_op_ms =
+            TimeKernel(30, 50, [&cold_cache, &tiny_agg, &tiny_col, &salt,
+                                cold] {
+              const double hi =
+                  cold ? 1.0 + 1e-9 * static_cast<double>(++salt) : 0.75;
+              const ScanDim dim{tiny_col.data(), 0.0, hi};
+              (void)cold_cache.Scan(tiny_agg.data(), tiny_agg.size(), &dim, 1,
+                                    AggShape::kFull);
+            });
+        row.p50_latency_ms = Quantile(per_op_ms, 0.5);
+        row.p95_latency_ms = Quantile(per_op_ms, 0.95);
+        row.ops_per_sec =
+            row.p50_latency_ms > 0.0 ? 1e3 / row.p50_latency_ms : 0.0;
+        jit_table.AddRow({row.method, FormatDouble(row.p50_latency_ms, 4),
+                          "-"});
+        rows.push_back(row);
+      }
+    }
+    std::printf("\nspecialization sweep (stencil tier %s):\n",
+                stencils ? "on" : "off");
+    jit_table.Print();
   }
 
   const Dataset build_data = MakeTaxiDatetime(Scaled(50'000), 78);

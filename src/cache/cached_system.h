@@ -44,6 +44,9 @@ class CachedSystem final : public AqpSystem {
   std::string Name() const override { return inner_->Name(); }
   SystemCosts Costs() const override { return inner_->Costs(); }
   const SemanticAnswerCache* AnswerCache() const override { return &cache_; }
+  const KernelCache* ScanKernelCache() const override {
+    return inner_->ScanKernelCache();
+  }
   void AttachCoveredNodeCache(CoveredCacheHost* host) override {
     inner_->AttachCoveredNodeCache(host);
   }

@@ -13,6 +13,7 @@
 namespace pass {
 
 class CoveredCacheHost;
+class KernelCache;
 class SemanticAnswerCache;
 
 /// Build-time / space costs of a synopsis, reported alongside accuracy in
@@ -125,6 +126,12 @@ class AqpSystem {
   /// its counters onto ScheduledAnswer; only the CachedSystem decorator
   /// overrides this.
   virtual const SemanticAnswerCache* AnswerCache() const { return nullptr; }
+
+  /// The per-query specialized-kernel cache serving this system's scans
+  /// (jit/kernel_cache.h), or nullptr when every scan runs the generic
+  /// kernel. The scheduler snapshots its tier counters onto
+  /// ScheduledAnswer so callers can assert which kernel tier engaged.
+  virtual const KernelCache* ScanKernelCache() const { return nullptr; }
 
   /// Offers this system a covered-node aggregate cache (see
   /// core/covered_source.h). Tree-backed systems request one tier per

@@ -202,7 +202,8 @@ FrontierScan ExecutePlan(const PartitionTree& tree,
       // Active-dim pruning: the leaf's tight bounding box proves dims the
       // query fully covers, so the kernel tests contested dims only.
       // Bit-identical to the unpruned scan (see StratifiedSample::Scan).
-      p.scan = sample.Scan(predicate, n.data_bounds);
+      p.scan = sample.Scan(predicate, n.data_bounds,
+                           opts.kernel_cache.get());
       out.sample_rows_scanned += sample.size();
       out.matched_sample_rows += p.scan.matched;
       if (p.scan.matched > 0) {
@@ -587,8 +588,8 @@ class TreeSession final : public EstimationSession {
     // Same active-dim pruning as ExecutePlan: resumed sessions must stay
     // bit-identical to fresh budgeted runs, so both sites prune with the
     // same leaf box.
-    p.scan = samples_[static_cast<size_t>(n.leaf_id)].Scan(predicate_,
-                                                           n.data_bounds);
+    p.scan = samples_[static_cast<size_t>(n.leaf_id)].Scan(
+        predicate_, n.data_bounds, opts_.kernel_cache.get());
     p.scanned = true;
   }
 

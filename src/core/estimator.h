@@ -28,6 +28,7 @@ enum class AvgMode {
 };
 
 class CoveredNodeSource;
+class KernelCache;
 
 /// Estimator configuration shared by the Synopsis and the baselines that
 /// reuse stratified estimation.
@@ -45,6 +46,14 @@ struct EstimatorOptions {
   /// answer cache's covered-node tier. Not owned; must outlive every
   /// answer and session using these options.
   CoveredNodeSource* covered_source = nullptr;
+
+  /// Cache of per-query specialized scan kernels (jit/kernel_cache.h);
+  /// nullptr runs every leaf scan through the generic kernel. Specialized
+  /// and generic scans are bit-identical by the kernel contract, so
+  /// installing a cache never changes an answer — the registry installs
+  /// one per engine when EngineConfig::jit.enabled, shared across shards
+  /// so refined/repeated predicates reuse compiled kernels.
+  std::shared_ptr<KernelCache> kernel_cache;
 };
 
 /// One schedulable piece of a query's sampled work: the stratified sample

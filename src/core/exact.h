@@ -9,6 +9,8 @@
 
 namespace pass {
 
+class KernelCache;
+
 /// Ground-truth result of a query computed by a full scan. `value` is the
 /// exact aggregate; for AVG/MIN/MAX it is meaningful only when matched > 0.
 struct ExactResult {
@@ -39,7 +41,13 @@ inline double RelativeError(double estimate, const ExactResult& truth) {
 /// are no precomputed per-partition bounds here), so exact answering is
 /// all-or-nothing — the serving layer sheds an over-deadline exact query
 /// instead of truncating it (ExactSystem::SupportsBudget() is false).
-ExactResult ExactAnswer(const Dataset& data, const Query& query);
+///
+/// `kernel_cache` optionally routes the scan through a per-query
+/// specialized kernel (jit/kernel_cache.h); nullptr scans generically.
+/// Bit-identical either way. MIN/MAX queries need the full aggregate
+/// shape; SUM/COUNT/AVG specialize to the cheaper moments-only shape.
+ExactResult ExactAnswer(const Dataset& data, const Query& query,
+                        KernelCache* kernel_cache = nullptr);
 
 /// Sum, count and average of the matching tuples from ONE scan — the fused
 /// counterpart of three per-aggregate ExactAnswer calls. `avg` is NaN when
@@ -50,7 +58,8 @@ struct ExactMultiResult {
   double avg = 0.0;
 };
 
-ExactMultiResult ExactMultiAnswer(const Dataset& data, const Rect& predicate);
+ExactMultiResult ExactMultiAnswer(const Dataset& data, const Rect& predicate,
+                                  KernelCache* kernel_cache = nullptr);
 
 }  // namespace pass
 

@@ -9,6 +9,8 @@
 
 namespace pass {
 
+class KernelCache;
+
 /// The uniform sample attached to one leaf partition ("Associated with the
 /// leaf nodes is a uniform sample of tuples within that partition",
 /// Section 3.2). Stored column-major; scans over these samples are the only
@@ -81,6 +83,14 @@ class StratifiedSample {
   /// outside it and unsupported by the builders).
   ScanResult Scan(const Rect& query, const Rect& leaf_box) const;
 
+  /// Like the overloads above, but scans through `cache`'s best
+  /// specialized kernel tier when `cache` is non-null (jit/kernel_cache.h;
+  /// nullptr is the plain generic scan). Tier choice never changes result
+  /// bits, so these are drop-in replacements at every call site.
+  ScanResult Scan(const Rect& query, KernelCache* cache) const;
+  ScanResult Scan(const Rect& query, const Rect& leaf_box,
+                  KernelCache* cache) const;
+
   /// Process-wide count of Scan() invocations. Each thread bumps its own
   /// counter (no shared cache line on the hot scan loop); reads aggregate
   /// them. Lets tests assert that a query's reported work equals the
@@ -104,7 +114,8 @@ class StratifiedSample {
   }
 
  private:
-  ScanResult ScanImpl(const Rect& query, const Rect* leaf_box) const;
+  ScanResult ScanImpl(const Rect& query, const Rect* leaf_box,
+                      KernelCache* cache) const;
 
   std::vector<std::vector<double>> preds_;  // [dim][i]
   std::vector<double> agg_;

@@ -77,6 +77,12 @@ class Synopsis final : public AqpSystem {
   const EstimatorOptions& options() const { return options_; }
   EstimatorOptions& mutable_options() { return options_; }
 
+  /// The specialized-kernel cache every leaf scan dispatches through
+  /// (installed by the registry when EngineConfig::jit.enabled).
+  const KernelCache* ScanKernelCache() const override {
+    return options_.kernel_cache.get();
+  }
+
   /// Total rows currently summarized.
   uint64_t NumRows() const {
     return tree_.root() < 0 ? 0 : tree_.node(tree_.root()).stats.count;

@@ -9,6 +9,7 @@
 #include "cache/cached_system.h"
 #include "core/synopsis.h"
 #include "engine/exact_system.h"
+#include "jit/kernel_cache.h"
 #include "partition/builder.h"
 #include "partition/ensemble.h"
 #include "shard/sharded_synopsis.h"
@@ -25,8 +26,9 @@ Status CheckDim(const Dataset& data, const EngineConfig& config) {
   return Status::Ok();
 }
 
-SystemResult MakeExact(const Dataset& data, const EngineConfig& /*config*/) {
-  return std::unique_ptr<AqpSystem>(new ExactSystem(data));
+SystemResult MakeExact(const Dataset& data, const EngineConfig& config) {
+  return std::unique_ptr<AqpSystem>(
+      new ExactSystem(data, config.estimator.kernel_cache));
 }
 
 SystemResult MakeUniform(const Dataset& data, const EngineConfig& config) {
@@ -154,7 +156,17 @@ Result<std::unique_ptr<AqpSystem>> EngineRegistry::Create(
   if (data.NumRows() == 0) {
     return Status::FailedPrecondition("dataset is empty");
   }
-  Result<std::unique_ptr<AqpSystem>> built = it->second(data, config);
+  // One specialized-kernel cache per engine, injected through the
+  // estimator options every factory forwards: shards, ensemble members
+  // and the exact path all share it, so a predicate compiled once serves
+  // the whole engine. Tier dispatch is bit-identical to the generic
+  // kernel, making this safe to install unconditionally when enabled.
+  EngineConfig effective = config;
+  if (config.jit.enabled) {
+    effective.estimator.kernel_cache =
+        std::make_shared<KernelCache>(config.jit);
+  }
+  Result<std::unique_ptr<AqpSystem>> built = it->second(data, effective);
   if (!built.ok() || !config.cache.enabled) return built;
   // Serve the engine behind the semantic answer cache. The wrapper is
   // transparent (bit-identical answers, forwarded Name/Costs) and attaches

@@ -1,0 +1,212 @@
+#include "jit/exec_spec.h"
+
+#include <cstring>
+
+#include "kernel/scan_kernel.h"
+
+// The build-time relocation audit (tools/jit/audit_stencils.py) parses
+// the compiled stencil object and generates this header; it defines
+// PASS_JIT_STENCILS_SELF_CONTAINED to 1 only when no stencil section has
+// relocations, i.e. the copied bytes are provably position-free on this
+// toolchain. Without the audit's blessing the stencil tier stays off no
+// matter what the self-test would say.
+#if defined(PASS_JIT_HAVE_STENCIL_AUDIT)
+#include "pass_stencil_audit.h"
+#endif
+#if !defined(PASS_JIT_STENCILS_SELF_CONTAINED)
+#define PASS_JIT_STENCILS_SELF_CONTAINED 0
+#endif
+
+#if defined(__unix__)
+#include <sys/mman.h>
+#define PASS_JIT_HAVE_MMAP 1
+#else
+#define PASS_JIT_HAVE_MMAP 0
+#endif
+
+namespace pass {
+namespace {
+
+// Everything below exists only for the stencil tier; keeping it behind
+// the same gate as its callers keeps -Werror builds clean when the tier
+// is compiled out (no audit header, or the audit said no).
+#if PASS_JIT_HAVE_MMAP && PASS_JIT_STENCILS_SELF_CONTAINED
+
+uint64_t DoubleBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+// Offset of the unique 8-byte little-endian occurrence of `magic` in
+// [begin, begin+size), or SIZE_MAX when absent or ambiguous. x86-64 is
+// little-endian, so the imm64 operand bytes are the value's own byte
+// order and an overlapping byte scan finds them exactly.
+size_t FindUniqueMagic(const char* begin, size_t size, uint64_t magic) {
+  size_t found = SIZE_MAX;
+  for (size_t i = 0; i + sizeof magic <= size; ++i) {
+    uint64_t v;
+    std::memcpy(&v, begin + i, sizeof v);
+    if (v != magic) continue;
+    if (found != SIZE_MAX) return SIZE_MAX;  // ambiguous
+    found = i;
+  }
+  return found;
+}
+
+// Bit-identity self-test inputs: NaN-poisoned aggregates with ±inf and
+// signed zeros, per-dim columns that straddle their patched interval, and
+// row counts crossing the 256-row block boundary plus a ragged tail.
+constexpr size_t kSelfTestSizes[] = {0, 7, 255, 256, 300, 1031};
+constexpr size_t kSelfTestMaxRows = 1031;
+
+bool SelfTest(const PreparedStencil& prepared) {
+  const size_t d = prepared.desc->num_dims;
+  static_assert(kMaxSpecializedDims <= 4, "bounds tables below cover 4");
+  const double lo[4] = {0.25, -1.5, 0.0, -0.0};
+  const double hi[4] = {0.75, 0.5, 2.0, 10.0};
+  uint64_t lo_bits[kMaxSpecializedDims] = {};
+  uint64_t hi_bits[kMaxSpecializedDims] = {};
+  for (size_t k = 0; k < d; ++k) {
+    lo_bits[k] = DoubleBits(lo[k]);
+    hi_bits[k] = DoubleBits(hi[k]);
+  }
+  std::shared_ptr<const ExecSpec> spec =
+      ExecSpec::Compile(prepared, lo_bits, hi_bits);
+  if (spec == nullptr) return false;
+
+  const double nan = __builtin_nan("");
+  const double inf = __builtin_inf();
+  static double agg[kSelfTestMaxRows];
+  static double cols[kMaxSpecializedDims][kSelfTestMaxRows];
+  for (size_t i = 0; i < kSelfTestMaxRows; ++i) {
+    agg[i] = (i % 11 == 0)   ? nan
+             : (i % 19 == 0) ? ((i % 2) != 0u ? inf : -inf)
+                             : static_cast<double>(i) * 0.37 - 50.0;
+    for (size_t k = 0; k < kMaxSpecializedDims; ++k) {
+      cols[k][i] = (i % (13 + k) == 0)   ? nan
+                   : ((i + k) % 17 == 0) ? -0.0
+                                         : static_cast<double>((i * (k + 3)) %
+                                                               101) /
+                                                   25.0 -
+                                               1.8;
+    }
+  }
+
+  for (size_t n : kSelfTestSizes) {
+    JitArgs args;
+    args.agg = agg;
+    args.n = n;
+    ScanDim dims[kMaxSpecializedDims];
+    for (size_t k = 0; k < d; ++k) {
+      args.cols[k] = cols[k];
+      dims[k].values = cols[k];
+      dims[k].lo = lo[k];
+      dims[k].hi = hi[k];
+    }
+    ScanStats got;
+    spec->Run(args, &got);
+    const ScanStats want = ScanColumns(agg, n, dims, d);
+    if (got.matched != want.matched ||
+        DoubleBits(got.sum) != DoubleBits(want.sum) ||
+        DoubleBits(got.sum_sq) != DoubleBits(want.sum_sq)) {
+      return false;
+    }
+    if (prepared.desc->shape == AggShape::kFull &&
+        (DoubleBits(got.min) != DoubleBits(want.min) ||
+         DoubleBits(got.max) != DoubleBits(want.max))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+#endif  // PASS_JIT_HAVE_MMAP && PASS_JIT_STENCILS_SELF_CONTAINED
+
+}  // namespace
+
+std::shared_ptr<const ExecSpec> ExecSpec::Compile(
+    const PreparedStencil& stencil, const uint64_t* lo_bits,
+    const uint64_t* hi_bits) {
+#if PASS_JIT_HAVE_MMAP
+  const size_t size = stencil.size;
+  void* buf = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (buf == MAP_FAILED) return nullptr;
+  std::memcpy(buf, stencil.desc->begin, size);
+  char* bytes = static_cast<char*>(buf);
+  for (size_t k = 0; k < stencil.desc->num_dims; ++k) {
+    std::memcpy(bytes + stencil.lo_offset[k], &lo_bits[k],
+                sizeof lo_bits[k]);
+    std::memcpy(bytes + stencil.hi_offset[k], &hi_bits[k],
+                sizeof hi_bits[k]);
+  }
+  if (::mprotect(buf, size, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(buf, size);
+    return nullptr;
+  }
+  __builtin___clear_cache(bytes, bytes + size);
+  JitKernelFn fn =
+      reinterpret_cast<JitKernelFn>(bytes + stencil.entry_offset);
+  return std::shared_ptr<const ExecSpec>(new ExecSpec(buf, size, fn));
+#else
+  (void)stencil;
+  (void)lo_bits;
+  (void)hi_bits;
+  return nullptr;
+#endif
+}
+
+ExecSpec::~ExecSpec() {
+#if PASS_JIT_HAVE_MMAP
+  ::munmap(code_, size_);
+#endif
+}
+
+StencilRuntime::StencilRuntime() {
+#if PASS_JIT_HAVE_MMAP && PASS_JIT_STENCILS_SELF_CONTAINED
+  const StencilTable table = PassJitStencils();
+  if (table.count == 0) return;
+
+  // All-or-nothing: a single stencil that fails to locate or to match
+  // ScanColumns bit-for-bit disqualifies the whole tier. The failure mode
+  // this guards against (a toolchain emitting something the audit and
+  // this scan don't expect) is per-build, not per-stencil.
+  for (size_t i = 0; i < table.count; ++i) {
+    const StencilDesc& desc = table.descs[i];
+    PreparedStencil p;
+    p.desc = &desc;
+    p.size = static_cast<size_t>(desc.end - desc.begin);
+    const char* entry = static_cast<const char*>(desc.entry);
+    if (entry < desc.begin || entry >= desc.end) return;
+    p.entry_offset = static_cast<size_t>(entry - desc.begin);
+    for (size_t k = 0; k < desc.num_dims; ++k) {
+      p.lo_offset[k] = FindUniqueMagic(desc.begin, p.size, desc.magic_lo[k]);
+      p.hi_offset[k] = FindUniqueMagic(desc.begin, p.size, desc.magic_hi[k]);
+      if (p.lo_offset[k] == SIZE_MAX || p.hi_offset[k] == SIZE_MAX) return;
+    }
+    prepared_[prepared_count_++] = p;
+  }
+  for (size_t i = 0; i < prepared_count_; ++i) {
+    if (!SelfTest(prepared_[i])) return;
+  }
+  available_ = true;
+#endif
+}
+
+const StencilRuntime& StencilRuntime::Instance() {
+  static const StencilRuntime runtime;
+  return runtime;
+}
+
+const PreparedStencil* StencilRuntime::Find(size_t num_dims,
+                                            AggShape shape) const {
+  if (!available_) return nullptr;
+  for (size_t i = 0; i < prepared_count_; ++i) {
+    const PreparedStencil& p = prepared_[i];
+    if (p.desc->num_dims == num_dims && p.desc->shape == shape) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace pass

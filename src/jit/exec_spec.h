@@ -1,0 +1,78 @@
+#ifndef PASS_JIT_EXEC_SPEC_H_
+#define PASS_JIT_EXEC_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "jit/stencil.h"
+
+namespace pass {
+
+/// A stencil whose section the runtime has verified: entry point inside
+/// the section and every bound placeholder located at a unique offset.
+struct PreparedStencil {
+  const StencilDesc* desc = nullptr;
+  size_t size = 0;          // section bytes to copy
+  size_t entry_offset = 0;  // entry point relative to section start
+  size_t lo_offset[kMaxSpecializedDims] = {};
+  size_t hi_offset[kMaxSpecializedDims] = {};
+};
+
+/// One compiled specialization: a private mmap'd buffer holding a
+/// stencil's code with the query rectangle patched in as imm64
+/// immediates, remapped read+execute (W^X: never writable and executable
+/// at once). Immutable after Compile; safe to run from any thread.
+class ExecSpec {
+ public:
+  /// Copies the stencil, patches dimension k's bounds to the bit patterns
+  /// lo_bits[k]/hi_bits[k], seals the buffer executable. Returns nullptr
+  /// if the target refuses the mapping (e.g. a W^X-hostile environment) —
+  /// callers fall back to the portable tiers.
+  static std::shared_ptr<const ExecSpec> Compile(
+      const PreparedStencil& stencil, const uint64_t* lo_bits,
+      const uint64_t* hi_bits);
+
+  ~ExecSpec();
+  ExecSpec(const ExecSpec&) = delete;
+  ExecSpec& operator=(const ExecSpec&) = delete;
+
+  void Run(const JitArgs& args, ScanStats* out) const { fn_(&args, out); }
+
+  size_t code_bytes() const { return size_; }
+
+ private:
+  ExecSpec(void* code, size_t size, JitKernelFn fn)
+      : code_(code), size_(size), fn_(fn) {}
+
+  void* code_;
+  size_t size_;
+  JitKernelFn fn_;
+};
+
+/// Process-wide view of the usable stencils, built once on first use:
+/// requires the build-time relocation audit to have passed, then locates
+/// every placeholder and holds each stencil to a bit-identity self-test
+/// against ScanColumns on adversarial data (NaN/±inf/-0.0, block-boundary
+/// row counts). Any failure disables the whole stencil tier — the fixed
+/// and generic tiers are always there to serve instead.
+class StencilRuntime {
+ public:
+  static const StencilRuntime& Instance();
+
+  bool available() const { return available_; }
+
+  /// The verified stencil for (num_dims, shape), or nullptr.
+  const PreparedStencil* Find(size_t num_dims, AggShape shape) const;
+
+ private:
+  StencilRuntime();
+
+  bool available_ = false;
+  PreparedStencil prepared_[2 * kMaxSpecializedDims];
+  size_t prepared_count_ = 0;
+};
+
+}  // namespace pass
+
+#endif  // PASS_JIT_EXEC_SPEC_H_

@@ -1,0 +1,60 @@
+#include "jit/fixed_kernels.h"
+
+#if defined(PASS_JIT)
+
+#include <limits>
+
+#include "jit/scan_fixed_impl.h"
+
+namespace pass {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQnan = std::numeric_limits<double>::quiet_NaN();
+
+// The portable specialization tier: one instantiation per (NDims, shape).
+// This TU is compiled exactly like the generic kernel TU (same
+// -ffp-contract=off + vector-arch flags, PASS_SIMD pragmas active), so
+// the shared body vectorizes the same way and stays bit-identical.
+template <size_t NDims, bool kMinMax>
+void ScanColumnsFixed(const double* agg, size_t n, const ScanDim* dims,
+                      ScanStats* out) {
+  const double* cols[NDims];
+  double lo[NDims];
+  double hi[NDims];
+  for (size_t k = 0; k < NDims; ++k) {
+    cols[k] = dims[k].values;
+    lo[k] = dims[k].lo;
+    hi[k] = dims[k].hi;
+  }
+  jit_detail::ScanBodyFixed<NDims, kMinMax>(agg, n, cols, lo, hi, kInf,
+                                            -kInf, kQnan, out);
+}
+
+}  // namespace
+
+FixedKernelFn FixedScanKernel(size_t num_dims, AggShape shape) {
+  static_assert(kMaxSpecializedDims == 4,
+                "the dispatch tables below cover exactly 1..4 dims");
+  static constexpr FixedKernelFn kFull[kMaxSpecializedDims] = {
+      &ScanColumnsFixed<1, true>, &ScanColumnsFixed<2, true>,
+      &ScanColumnsFixed<3, true>, &ScanColumnsFixed<4, true>};
+  static constexpr FixedKernelFn kMoments[kMaxSpecializedDims] = {
+      &ScanColumnsFixed<1, false>, &ScanColumnsFixed<2, false>,
+      &ScanColumnsFixed<3, false>, &ScanColumnsFixed<4, false>};
+  if (num_dims < 1 || num_dims > kMaxSpecializedDims) return nullptr;
+  return shape == AggShape::kFull ? kFull[num_dims - 1]
+                                  : kMoments[num_dims - 1];
+}
+
+}  // namespace pass
+
+#else  // !defined(PASS_JIT)
+
+namespace pass {
+
+FixedKernelFn FixedScanKernel(size_t, AggShape) { return nullptr; }
+
+}  // namespace pass
+
+#endif  // defined(PASS_JIT)

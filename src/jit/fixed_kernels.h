@@ -1,0 +1,31 @@
+#ifndef PASS_JIT_FIXED_KERNELS_H_
+#define PASS_JIT_FIXED_KERNELS_H_
+
+#include <cstddef>
+
+#include "jit/jit_config.h"
+#include "kernel/scan_kernel.h"
+
+namespace pass {
+
+/// Largest contested-dim count the specialization tiers cover. Scans with
+/// more active dims (or zero) stay on the generic kernel — the PASS
+/// workloads' hot queries contest 1–4 dims, and past that the descriptor
+/// overhead the specialization removes is already noise.
+inline constexpr size_t kMaxSpecializedDims = 4;
+
+/// A compile-time-specialized scan kernel: same arguments as ScanColumns
+/// minus the runtime num_dims, which is baked into the instantiation.
+using FixedKernelFn = void (*)(const double* agg, size_t n,
+                               const ScanDim* dims, ScanStats* out);
+
+/// Returns the ScanColumnsFixed<NDims> instantiation for `num_dims` and
+/// `shape`, or nullptr when num_dims is outside [1, kMaxSpecializedDims]
+/// or this build has PASS_JIT=OFF. Every returned kernel is bit-identical
+/// to ScanColumns (see jit/scan_fixed_impl.h); under AggShape::kMoments
+/// out->min/max are left at their +inf/-inf initializers.
+FixedKernelFn FixedScanKernel(size_t num_dims, AggShape shape);
+
+}  // namespace pass
+
+#endif  // PASS_JIT_FIXED_KERNELS_H_

@@ -1,0 +1,85 @@
+#ifndef PASS_JIT_JIT_CONFIG_H_
+#define PASS_JIT_JIT_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pass {
+
+/// Per-engine configuration of the per-query kernel-specialization layer
+/// (EngineConfig::jit). Purely a performance knob: every specialized
+/// kernel is bit-identical to the generic ScanColumns by the determinism
+/// contract in kernel/scan_kernel.h, so flipping `enabled` never changes
+/// an answer bit — only how fast the scans run.
+struct JitConfig {
+  /// Route scans through the specialization tiers (compile-time-fixed
+  /// kernels, and copy-and-patch stencils where the build/target supports
+  /// them). OFF pins every scan to the generic kernel.
+  bool enabled = true;
+
+  /// FIFO bound on compiled ExecSpec buffers held by the KernelCache.
+  /// Each entry is one mmap'd page of patched code keyed on (dim layout,
+  /// agg shape, bound bits); repeated/refined queries (sessions,
+  /// AnswerUntil ladders) reuse entries instead of re-patching. Must be
+  /// >= 1 when enabled (EngineConfig::Validate rejects 0).
+  size_t max_cached_kernels = 64;
+
+  /// Serve the copy-and-patch stencil tier ahead of the fixed tier when
+  /// both could handle a scan. OFF by default because it is measured, not
+  /// assumed: the stencil bytes must stay position-free, which pins their
+  /// codegen to the baseline vector ISA, while the fixed tier compiles at
+  /// the kernel TU's full PASS_SIMD_ARCH — the template kernels win on
+  /// every supported configuration today (BENCH_micro.json jit_sweep
+  /// rows track the gap). Answers are bit-identical either way; flipping
+  /// this is purely a perf experiment.
+  bool prefer_stencils = false;
+};
+
+/// Which aggregate shape a scan feeds. The estimator always needs the
+/// full ScanStats (observed min/max feed the deterministic hard bounds),
+/// while the exact engine's fused SUM/COUNT/AVG scan provably never reads
+/// the extrema — so its specializations skip the two compare-selects per
+/// row. Under kMoments only matched/sum/sum_sq are meaningful; min/max
+/// stay at their +inf/-inf initializers.
+enum class AggShape : uint8_t {
+  kFull = 0,     // matched, sum, sum_sq, min, max
+  kMoments = 1,  // matched, sum, sum_sq only
+};
+
+/// The kernel tier that serves a scan, in increasing order of
+/// specialization. Tier selection never changes result bits; it is pure
+/// dispatch.
+enum class ScanTier : uint8_t {
+  kGeneric = 0,  // kernel/scan_kernel.cc ScanColumns (runtime num_dims)
+  kFixed = 1,    // jit/fixed_kernels.cc ScanColumnsFixed<NDims>
+  kJit = 2,      // copy-and-patch stencil with bounds patched as imm64
+};
+
+inline const char* ScanTierName(ScanTier tier) {
+  switch (tier) {
+    case ScanTier::kGeneric:
+      return "generic";
+    case ScanTier::kFixed:
+      return "fixed";
+    case ScanTier::kJit:
+      return "jit";
+  }
+  return "unknown";
+}
+
+/// One snapshot of a KernelCache's cumulative counters, cheap enough to
+/// copy onto every ScheduledAnswer (mirrors CacheStats). Cumulative
+/// rather than per-query because concurrent queries share the counters;
+/// sequential callers diff consecutive snapshots for per-query deltas.
+struct KernelTierStats {
+  uint64_t generic_scans = 0;  // served by the generic ScanColumns
+  uint64_t fixed_scans = 0;    // served by a compile-time-fixed kernel
+  uint64_t jit_scans = 0;      // served by a patched stencil
+  uint64_t jit_compiles = 0;   // stencil copies patched (cache misses)
+  uint64_t jit_cache_hits = 0;
+  uint64_t jit_evictions = 0;  // FIFO evictions of compiled kernels
+};
+
+}  // namespace pass
+
+#endif  // PASS_JIT_JIT_CONFIG_H_

@@ -1,0 +1,151 @@
+#include "jit/kernel_cache.h"
+
+#include <cstring>
+
+namespace pass {
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+}  // namespace
+
+bool KernelCache::Key::operator==(const Key& o) const {
+  if (shape != o.shape || num_dims != o.num_dims) return false;
+  for (size_t k = 0; k < num_dims; ++k) {
+    if (lo_bits[k] != o.lo_bits[k] || hi_bits[k] != o.hi_bits[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t KernelCache::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the populated key bytes.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(k.shape) | (static_cast<uint64_t>(k.num_dims)
+                                        << 8));
+  for (size_t d = 0; d < k.num_dims; ++d) {
+    mix(k.lo_bits[d]);
+    mix(k.hi_bits[d]);
+  }
+  return static_cast<size_t>(h);
+}
+
+bool KernelCache::StencilTierAvailable() {
+  return StencilRuntime::Instance().available();
+}
+
+ScanStats KernelCache::Scan(const double* agg, size_t n, const ScanDim* dims,
+                            size_t num_dims, AggShape shape) {
+  if (config_.enabled && num_dims >= 1 && num_dims <= kMaxSpecializedDims) {
+    // Tier order is measured, not aspirational: the fixed tier compiles
+    // at the kernel TU's full vector ISA while the stencil tier is pinned
+    // to the baseline ISA (wider codegen spills broadcast constants to a
+    // rodata pool, which a patched copy cannot carry), so the template
+    // kernels win on every supported configuration (see the
+    // jit_sweep rows in BENCH_micro.json). The stencil tier serves ahead
+    // of it only on explicit opt-in.
+    const bool fixed_first = !config_.prefer_stencils;
+    if (fixed_first) {
+      if (FixedKernelFn fn = FixedScanKernel(num_dims, shape)) {
+        ScanStats out;
+        fn(agg, n, dims, &out);
+        fixed_scans_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+    if (const PreparedStencil* stencil =
+            StencilRuntime::Instance().Find(num_dims, shape)) {
+      Key key;
+      key.shape = static_cast<uint8_t>(shape);
+      key.num_dims = static_cast<uint8_t>(num_dims);
+      for (size_t k = 0; k < num_dims; ++k) {
+        key.lo_bits[k] = DoubleBits(dims[k].lo);
+        key.hi_bits[k] = DoubleBits(dims[k].hi);
+      }
+      if (std::shared_ptr<const ExecSpec> spec = GetOrCompile(key, *stencil)) {
+        JitArgs args;
+        args.agg = agg;
+        args.n = n;
+        for (size_t k = 0; k < num_dims; ++k) args.cols[k] = dims[k].values;
+        ScanStats out;
+        spec->Run(args, &out);
+        jit_scans_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+    if (!fixed_first) {
+      if (FixedKernelFn fn = FixedScanKernel(num_dims, shape)) {
+        ScanStats out;
+        fn(agg, n, dims, &out);
+        fixed_scans_.fetch_add(1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+  }
+  generic_scans_.fetch_add(1, std::memory_order_relaxed);
+  return ScanColumns(agg, n, dims, num_dims);
+}
+
+std::shared_ptr<const ExecSpec> KernelCache::GetOrCompile(
+    const Key& key, const PreparedStencil& stencil) {
+  {
+    ReaderLock lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+
+  // Compile outside the lock: patching is a short mmap+memcpy, but there
+  // is no reason to serialize scans behind it. Two threads racing on the
+  // same key both compile; the second insert loses and adopts the
+  // winner's kernel, dropping its own buffer.
+  std::shared_ptr<const ExecSpec> spec =
+      ExecSpec::Compile(stencil, key.lo_bits, key.hi_bits);
+  if (spec == nullptr) return nullptr;
+
+  WriterLock lock(mu_);
+  auto inserted = map_.emplace(key, spec);
+  if (!inserted.second) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return inserted.first->second;
+  }
+  fifo_.push_back(key);
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  while (map_.size() > config_.max_cached_kernels && !fifo_.empty()) {
+    map_.erase(fifo_.front());
+    fifo_.pop_front();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return spec;
+}
+
+KernelTierStats KernelCache::Stats() const {
+  KernelTierStats s;
+  s.generic_scans = generic_scans_.load(std::memory_order_relaxed);
+  s.fixed_scans = fixed_scans_.load(std::memory_order_relaxed);
+  s.jit_scans = jit_scans_.load(std::memory_order_relaxed);
+  s.jit_compiles = compiles_.load(std::memory_order_relaxed);
+  s.jit_cache_hits = hits_.load(std::memory_order_relaxed);
+  s.jit_evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t KernelCache::CompiledKernels() const {
+  ReaderLock lock(mu_);
+  return map_.size();
+}
+
+}  // namespace pass

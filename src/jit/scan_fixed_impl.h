@@ -1,0 +1,161 @@
+#ifndef PASS_JIT_SCAN_FIXED_IMPL_H_
+#define PASS_JIT_SCAN_FIXED_IMPL_H_
+
+/// The one specialized scan body, shared (by textual inclusion) between
+/// the two specialization tiers:
+///
+///  - jit/fixed_kernels.cc instantiates it with compile-time NDims and
+///    PASS_SIMD pragmas, compiled with the same flags as the generic
+///    kernel TU (-ffp-contract=off, vector arch) — the portable tier.
+///  - jit/stencils.cc instantiates it inside the copy-and-patch stencil
+///    sections with the bounds materialized as patchable movabs imm64
+///    (no PASS_SIMD, no libcalls, position-free by construction).
+///
+/// ## Bit-identity with ScanColumns (the hard contract)
+///
+/// The mask is integer-exact — each row's match bit is the same whether
+/// the per-dim tests run as blockwise passes (the generic kernel) or
+/// fused per row with a compile-time dim count (here), so the mask
+/// computation is free to differ. What is NOT free is the floating-point
+/// accumulation sequence, which this body replicates from ScanColumns
+/// verbatim: kScanLanes stripes with row i feeding stripe i % kScanLanes,
+/// `hit ? v : 0.0` selection, sel/sel*sel adds, min/max compare-selects
+/// against +/-inf, the ragged tail of the final block continuing the
+/// striping row-at-a-time, stripes folded in index order, and NaN moments
+/// collapsed to the canonical positive quiet NaN at the boundary. Every
+/// TU including this header must be compiled with -ffp-contract=off.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernel/scan_kernel.h"
+
+namespace pass {
+namespace jit_detail {
+
+/// Rows per mask block; must mirror the generic kernel's block size so the
+/// ragged-tail striping lines up (see kernel/scan_kernel.cc).
+constexpr size_t kFixedBlockRows = 256;
+static_assert(kFixedBlockRows % kScanLanes == 0,
+              "blocks must preserve the lane striping");
+
+// Same annotation-only vectorization rule as the generic kernel: pragmas
+// mark independent-lane loops only, never a float reduction, so the
+// scalar and vector builds run the same IEEE operation sequence. The
+// stencil TU compiles without PASS_SIMD and these expand to nothing.
+#if defined(PASS_SIMD)
+#define PASS_JIT_SIMD_LOOP _Pragma("omp simd")
+#define PASS_JIT_SIMD_COUNT(var) \
+  _Pragma(PASS_JIT_SIMD_STR(omp simd reduction(+ : var)))
+#define PASS_JIT_SIMD_STR(x) #x
+#else
+#define PASS_JIT_SIMD_LOOP
+#define PASS_JIT_SIMD_COUNT(var)
+#endif
+
+/// Specialized scan over NDims contested dimensions. `pos_inf`, `neg_inf`
+/// and `qnan` are parameters (not std::numeric_limits loads) so the
+/// stencil tier can materialize them as immediates; the fixed tier passes
+/// the usual constants. kMinMax=false (AggShape::kMoments) skips the
+/// extrema compare-selects and leaves out->min/max at +inf/-inf — the
+/// moments it does produce are bit-identical to the full shape's.
+/// Deliberately no std:: calls: the body must stay self-contained so the
+/// stencil copy carries no relocations.
+template <size_t NDims, bool kMinMax>
+__attribute__((always_inline)) inline void ScanBodyFixed(
+    const double* agg, size_t n, const double* const* cols,
+    const double* lo_arr, const double* hi_arr, double pos_inf,
+    double neg_inf, double qnan, ScanStats* out) {
+  static_assert(NDims >= 1, "0-d scans stay on the generic kernel");
+
+  uint64_t matched = 0;
+  double lane_sum[kScanLanes] = {};
+  double lane_sum_sq[kScanLanes] = {};
+  double lane_min[kScanLanes];
+  double lane_max[kScanLanes];
+  for (size_t l = 0; l < kScanLanes; ++l) {
+    lane_min[l] = pos_inf;
+    lane_max[l] = neg_inf;
+  }
+
+  uint32_t mask[kFixedBlockRows];
+  for (size_t base = 0; base < n; base += kFixedBlockRows) {
+    const size_t rem = n - base;
+    const size_t len = rem < kFixedBlockRows ? rem : kFixedBlockRows;
+
+    // Fused per-row conjunction; the k loop unrolls (NDims is a
+    // compile-time constant) and the bounds live in registers. Branchless
+    // like the generic kernel: NaN values and NaN bounds never match.
+    PASS_JIT_SIMD_LOOP
+    for (size_t jj = 0; jj < len; ++jj) {
+      uint32_t m = 1;
+      for (size_t k = 0; k < NDims; ++k) {
+        const double v = cols[k][base + jj];
+        m &= static_cast<uint32_t>(v >= lo_arr[k]) &
+             static_cast<uint32_t>(v <= hi_arr[k]);
+      }
+      mask[jj] = m;
+    }
+
+    uint32_t block_matched = 0;
+    PASS_JIT_SIMD_COUNT(block_matched)
+    for (size_t jj = 0; jj < len; ++jj) block_matched += mask[jj];
+    matched += block_matched;
+
+    const double* a = agg + base;
+    size_t jj = 0;
+    for (; jj + kScanLanes <= len; jj += kScanLanes) {
+      PASS_JIT_SIMD_LOOP
+      for (size_t l = 0; l < kScanLanes; ++l) {
+        const double v = a[jj + l];
+        const bool hit = mask[jj + l] != 0;
+        const double sel = hit ? v : 0.0;
+        lane_sum[l] += sel;
+        lane_sum_sq[l] += sel * sel;
+        if (kMinMax) {
+          const double cmin = hit ? v : pos_inf;
+          lane_min[l] = cmin < lane_min[l] ? cmin : lane_min[l];
+          const double cmax = hit ? v : neg_inf;
+          lane_max[l] = cmax > lane_max[l] ? cmax : lane_max[l];
+        }
+      }
+    }
+    for (; jj < len; ++jj) {
+      const size_t l = jj % kScanLanes;
+      const double v = a[jj];
+      const bool hit = mask[jj] != 0;
+      const double sel = hit ? v : 0.0;
+      lane_sum[l] += sel;
+      lane_sum_sq[l] += sel * sel;
+      if (kMinMax) {
+        const double cmin = hit ? v : pos_inf;
+        lane_min[l] = cmin < lane_min[l] ? cmin : lane_min[l];
+        const double cmax = hit ? v : neg_inf;
+        lane_max[l] = cmax > lane_max[l] ? cmax : lane_max[l];
+      }
+    }
+  }
+
+  out->matched = matched;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double mn = pos_inf;
+  double mx = neg_inf;
+  for (size_t l = 0; l < kScanLanes; ++l) {
+    sum += lane_sum[l];
+    sum_sq += lane_sum_sq[l];
+    if (kMinMax) {
+      mn = lane_min[l] < mn ? lane_min[l] : mn;
+      mx = lane_max[l] > mx ? lane_max[l] : mx;
+    }
+  }
+  out->sum = sum != sum ? qnan : sum;
+  out->sum_sq = sum_sq != sum_sq ? qnan : sum_sq;
+  out->min = mn;
+  out->max = mx;
+}
+
+}  // namespace jit_detail
+}  // namespace pass
+
+#endif  // PASS_JIT_SCAN_FIXED_IMPL_H_

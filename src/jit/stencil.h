@@ -1,0 +1,64 @@
+#ifndef PASS_JIT_STENCIL_H_
+#define PASS_JIT_STENCIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "jit/fixed_kernels.h"
+#include "jit/jit_config.h"
+#include "kernel/scan_kernel.h"
+
+namespace pass {
+
+/// Call ABI of a patched stencil. Column pointers and row count are call
+/// arguments (they vary per leaf under one compiled predicate); only the
+/// rectangle bounds are baked into the code as immediates.
+struct JitArgs {
+  const double* agg = nullptr;
+  size_t n = 0;
+  const double* cols[kMaxSpecializedDims] = {};
+};
+
+using JitKernelFn = void (*)(const JitArgs*, ScanStats*);
+
+/// The unique imm64 placeholder the stencil for (num_dims, shape) embeds
+/// for dimension k's lower/upper bound. The high six bytes are a fixed
+/// improbable signature, the low two encode (dims, shape, dim, side), so
+/// every placeholder across all stencils is distinct and the runtime can
+/// locate each one by an exact unique 8-byte scan of the section.
+constexpr uint64_t StencilMagic(size_t num_dims, bool moments, size_t k,
+                                bool is_hi) {
+  return 0xF1E0D3C4B5A60000ull |
+         (static_cast<uint64_t>(num_dims) << 12) |
+         (moments ? 0x100ull : 0x0ull) | (static_cast<uint64_t>(k) << 4) |
+         (is_hi ? 1ull : 0ull);
+}
+
+/// One prebuilt stencil: the extent of its ELF section (the bytes the
+/// runtime copies), its entry point inside the image, and the imm64
+/// placeholders to patch. Produced at compile time by jit/stencils.cc.
+struct StencilDesc {
+  size_t num_dims = 0;
+  AggShape shape = AggShape::kFull;
+  const char* begin = nullptr;  // __start_pass_stencil_* section extent
+  const char* end = nullptr;    // __stop_pass_stencil_*
+  const void* entry = nullptr;  // stencil function address in-image
+  uint64_t magic_lo[kMaxSpecializedDims] = {};
+  uint64_t magic_hi[kMaxSpecializedDims] = {};
+};
+
+struct StencilTable {
+  const StencilDesc* descs = nullptr;
+  size_t count = 0;
+};
+
+/// The stencils this build carries: (num_dims ∈ 1..4) × (full | moments)
+/// on x86-64 ELF builds with PASS_JIT=ON, empty everywhere else. Having
+/// stencils compiled in does NOT make the jit tier usable — the runtime
+/// additionally requires the build-time relocation audit to have passed
+/// and the one-time self-test to be bit-identical (see jit/exec_spec.h).
+StencilTable PassJitStencils();
+
+}  // namespace pass
+
+#endif  // PASS_JIT_STENCIL_H_

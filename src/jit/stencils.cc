@@ -1,0 +1,147 @@
+// Copy-and-patch stencils: one relocatable scan body per (num_dims 1..4,
+// agg shape), each alone in a named ELF section so the runtime can copy
+// its bytes into a fresh W^X buffer, overwrite the imm64 bound
+// placeholders with a query's rectangle, and execute.
+//
+// Everything here is arranged so the emitted section bytes are
+// position-free (no relocations, verified by tools/jit/audit_stencils.py
+// at build time):
+//  - every floating-point constant — bounds, +/-inf, the canonical quiet
+//    NaN — is materialized through a movabsq immediate (ConstFromBits),
+//    never a .rodata load;
+//  - the shared body (jit/scan_fixed_impl.h) makes no calls, and this TU
+//    is compiled with -fno-builtin -fno-stack-protector and the
+//    vectorizers off so the compiler cannot introduce memset/memcpy
+//    calls, stack-guard references, or vector constant pools;
+//  - each stencil function is `noinline, used` in its own section, and
+//    its symbol name differs from the section name (the assembler rejects
+//    a global symbol that collides with a section symbol).
+//
+// This TU deliberately compiles WITHOUT PASS_SIMD: the pragma-free body
+// runs the same IEEE operation sequence as every other build of the
+// kernel, which is what the bit-identity contract requires.
+
+#include "jit/stencil.h"
+
+#if defined(PASS_JIT) && defined(__x86_64__) && defined(__ELF__) && \
+    defined(__GNUC__)
+#define PASS_JIT_HAVE_STENCILS 1
+#else
+#define PASS_JIT_HAVE_STENCILS 0
+#endif
+
+#if PASS_JIT_HAVE_STENCILS
+
+#include <utility>
+
+#include "jit/scan_fixed_impl.h"
+
+namespace pass {
+namespace {
+
+constexpr uint64_t kInfBits = 0x7FF0000000000000ull;
+constexpr uint64_t kNegInfBits = 0xFFF0000000000000ull;
+constexpr uint64_t kQnanBits = 0x7FF8000000000000ull;
+
+// Materializes the double whose bit pattern is Bits via a movabsq
+// immediate. The 8 bytes of Bits appear verbatim in the instruction
+// stream — patchable when Bits is a StencilMagic placeholder, and simply
+// relocation-free for the inf/NaN constants.
+template <uint64_t Bits>
+__attribute__((always_inline)) inline double ConstFromBits() {
+  uint64_t b;
+  asm("movabsq %1, %0" : "=r"(b) : "i"(static_cast<int64_t>(Bits)));
+  double d;
+  __builtin_memcpy(&d, &b, sizeof d);
+  return d;
+}
+
+template <size_t NDims, bool kMinMax, size_t... Ks>
+__attribute__((always_inline)) inline void StencilEntry(
+    const JitArgs* args, ScanStats* out, std::index_sequence<Ks...>) {
+  const double lo[NDims] = {
+      ConstFromBits<StencilMagic(NDims, !kMinMax, Ks, false)>()...};
+  const double hi[NDims] = {
+      ConstFromBits<StencilMagic(NDims, !kMinMax, Ks, true)>()...};
+  jit_detail::ScanBodyFixed<NDims, kMinMax>(
+      args->agg, args->n, args->cols, lo, hi, ConstFromBits<kInfBits>(),
+      ConstFromBits<kNegInfBits>(), ConstFromBits<kQnanBits>(), out);
+}
+
+}  // namespace
+}  // namespace pass
+
+// D: dim count; SHAPE: section suffix; MINMAX: compute extrema (kFull).
+#define PASS_DEFINE_STENCIL(D, SHAPE, MINMAX)                             \
+  extern "C" {                                                            \
+  extern const char __start_pass_stencil_d##D##_##SHAPE[];                \
+  extern const char __stop_pass_stencil_d##D##_##SHAPE[];                 \
+  __attribute__((section("pass_stencil_d" #D "_" #SHAPE), noinline, used, \
+                 aligned(16))) void                                       \
+  pass_stencil_impl_d##D##_##SHAPE(const pass::JitArgs* args,             \
+                                   pass::ScanStats* out) {                \
+    pass::StencilEntry<D, MINMAX>(args, out,                              \
+                                  std::make_index_sequence<D>{});         \
+  }                                                                       \
+  }
+
+PASS_DEFINE_STENCIL(1, full, true)
+PASS_DEFINE_STENCIL(2, full, true)
+PASS_DEFINE_STENCIL(3, full, true)
+PASS_DEFINE_STENCIL(4, full, true)
+PASS_DEFINE_STENCIL(1, mom, false)
+PASS_DEFINE_STENCIL(2, mom, false)
+PASS_DEFINE_STENCIL(3, mom, false)
+PASS_DEFINE_STENCIL(4, mom, false)
+
+#undef PASS_DEFINE_STENCIL
+
+namespace pass {
+namespace {
+
+StencilDesc MakeDesc(size_t num_dims, AggShape shape, const char* begin,
+                     const char* end, const void* entry) {
+  StencilDesc d;
+  d.num_dims = num_dims;
+  d.shape = shape;
+  d.begin = begin;
+  d.end = end;
+  d.entry = entry;
+  const bool moments = shape == AggShape::kMoments;
+  for (size_t k = 0; k < num_dims; ++k) {
+    d.magic_lo[k] = StencilMagic(num_dims, moments, k, false);
+    d.magic_hi[k] = StencilMagic(num_dims, moments, k, true);
+  }
+  return d;
+}
+
+}  // namespace
+
+StencilTable PassJitStencils() {
+#define PASS_STENCIL_DESC(D, SHAPE, SHAPE_ENUM)                       \
+  MakeDesc(D, AggShape::SHAPE_ENUM, __start_pass_stencil_d##D##_##SHAPE, \
+           __stop_pass_stencil_d##D##_##SHAPE,                        \
+           reinterpret_cast<const void*>(&pass_stencil_impl_d##D##_##SHAPE))
+  static const StencilDesc kDescs[] = {
+      PASS_STENCIL_DESC(1, full, kFull), PASS_STENCIL_DESC(2, full, kFull),
+      PASS_STENCIL_DESC(3, full, kFull), PASS_STENCIL_DESC(4, full, kFull),
+      PASS_STENCIL_DESC(1, mom, kMoments),
+      PASS_STENCIL_DESC(2, mom, kMoments),
+      PASS_STENCIL_DESC(3, mom, kMoments),
+      PASS_STENCIL_DESC(4, mom, kMoments),
+  };
+#undef PASS_STENCIL_DESC
+  return {kDescs, sizeof(kDescs) / sizeof(kDescs[0])};
+}
+
+}  // namespace pass
+
+#else  // !PASS_JIT_HAVE_STENCILS
+
+namespace pass {
+
+StencilTable PassJitStencils() { return {nullptr, 0}; }
+
+}  // namespace pass
+
+#endif  // PASS_JIT_HAVE_STENCILS

@@ -44,6 +44,13 @@ class SynopsisEnsemble final : public AqpSystem {
     }
   }
 
+  /// Members share one engine-level kernel cache (see the registry), so
+  /// the first member's view is the engine's.
+  const KernelCache* ScanKernelCache() const override {
+    return members_.empty() ? nullptr
+                            : members_[0].synopsis->ScanKernelCache();
+  }
+
   const Synopsis& member(size_t i) const {
     PASS_DCHECK(i < members_.size());
     return *members_[i].synopsis;

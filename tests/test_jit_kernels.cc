@@ -1,0 +1,438 @@
+/// The specialization-layer contract (jit/kernel_cache.h): every tier —
+/// copy-and-patch stencil, compile-time-fixed kernel, generic ScanColumns
+/// — is bit-for-bit identical on arbitrary (leaf, rect) pairs, including
+/// NaN values/bounds, infinities, signed zeros and block-boundary
+/// lengths; the KernelCache's FIFO eviction is bounded and race-free; and
+/// flipping EngineConfig::jit never changes a registry answer bit, across
+/// sharding (K ∈ {1, 2, 4}) and session resume.
+
+#include "jit/kernel_cache.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "engine/engine_registry.h"
+#include "geom/rect.h"
+#include "jit/fixed_kernels.h"
+#include "kernel/scan_kernel.h"
+#include "tests/test_util.h"
+
+namespace pass {
+namespace {
+
+using testing::ExpectAnswersBitIdentical;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+void ExpectStatsBitIdentical(const ScanStats& a, const ScanStats& b) {
+  EXPECT_EQ(a.matched, b.matched);
+  EXPECT_EQ(Bits(a.sum), Bits(b.sum));
+  EXPECT_EQ(Bits(a.sum_sq), Bits(b.sum_sq));
+  EXPECT_EQ(Bits(a.min), Bits(b.min));
+  EXPECT_EQ(Bits(a.max), Bits(b.max));
+}
+
+/// The moments half of the contract — all AggShape::kMoments guarantees
+/// (min/max are unspecified-but-initialized under that shape).
+void ExpectMomentsBitIdentical(const ScanStats& a, const ScanStats& b) {
+  EXPECT_EQ(a.matched, b.matched);
+  EXPECT_EQ(Bits(a.sum), Bits(b.sum));
+  EXPECT_EQ(Bits(a.sum_sq), Bits(b.sum_sq));
+}
+
+/// One random column value: mostly ordinary doubles, with special values
+/// (NaN, +/-inf, +/-0.0, exact integers) injected often enough that every
+/// fuzz run exercises them. Mirrors test_scan_kernel.cc.
+double RandomValue(Rng* rng) {
+  switch (rng->Below(16)) {
+    case 0:
+      return kNaN;
+    case 1:
+      return rng->Bernoulli(0.5) ? kInf : -kInf;
+    case 2:
+      return rng->Bernoulli(0.5) ? 0.0 : -0.0;
+    case 3:
+      return static_cast<double>(rng->UniformInt(-4, 4));
+    default:
+      return rng->UniformDouble(-10.0, 10.0);
+  }
+}
+
+/// One random query interval: ordinary ranges plus the degenerate shapes
+/// (inverted, NaN-bounded, point, everything, nothing).
+void RandomInterval(Rng* rng, double* lo, double* hi) {
+  switch (rng->Below(8)) {
+    case 0:  // inverted (matches nothing)
+      *lo = 1.0;
+      *hi = -1.0;
+      return;
+    case 1:  // NaN bound (matches nothing)
+      *lo = rng->Bernoulli(0.5) ? kNaN : -10.0;
+      *hi = std::isnan(*lo) ? 10.0 : kNaN;
+      return;
+    case 2:  // everything
+      *lo = -kInf;
+      *hi = kInf;
+      return;
+    case 3: {  // point, often an integer so it actually hits values
+      const double p = static_cast<double>(rng->UniformInt(-4, 4));
+      *lo = p;
+      *hi = p;
+      return;
+    }
+    default:
+      *lo = rng->UniformDouble(-12.0, 12.0);
+      *hi = rng->UniformDouble(-12.0, 12.0);
+      if (*hi < *lo && rng->Bernoulli(0.75)) std::swap(*lo, *hi);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized fuzz: every specialization tier == generic, bit for bit
+// ---------------------------------------------------------------------------
+
+TEST(JitKernels, FuzzSpecializedMatchesGenericBitForBit) {
+  // Two caches so both specialized tiers face the full fuzz: the default
+  // dispatch (fixed tier first) and the stencil-preferring opt-in.
+  JitConfig config;
+  config.max_cached_kernels = 256;
+  KernelCache cache(config);
+  config.prefer_stencils = true;
+  KernelCache stencil_cache(config);
+  Rng rng(0x1A7E57C0DEull);
+  constexpr int kPairs = 10000;
+  for (int iter = 0; iter < kPairs; ++iter) {
+    // d spans below, inside and above the specialized range [1, 4]; the
+    // out-of-range counts pin the generic fallback to the same bits too.
+    const size_t d = static_cast<size_t>(rng.UniformInt(0, 8));
+    // Lengths straddle the kernel's block (256) and lane (8) boundaries.
+    const size_t n = static_cast<size_t>(
+        rng.Bernoulli(0.1) ? rng.UniformInt(250, 600) : rng.UniformInt(0, 40));
+    std::vector<double> agg(n);
+    for (double& a : agg) a = RandomValue(&rng);
+    std::vector<std::vector<double>> cols(d, std::vector<double>(n));
+    std::vector<ScanDim> dims(d);
+    for (size_t k = 0; k < d; ++k) {
+      for (double& v : cols[k]) v = RandomValue(&rng);
+      dims[k].values = cols[k].data();
+      RandomInterval(&rng, &dims[k].lo, &dims[k].hi);
+    }
+    const ScanStats generic = ScanColumns(agg.data(), n, dims.data(), d);
+    for (KernelCache* c : {&cache, &stencil_cache}) {
+      const ScanStats full =
+          c->Scan(agg.data(), n, dims.data(), d, AggShape::kFull);
+      ExpectStatsBitIdentical(full, generic);
+      const ScanStats moments =
+          c->Scan(agg.data(), n, dims.data(), d, AggShape::kMoments);
+      ExpectMomentsBitIdentical(moments, generic);
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged at fuzz iteration " << iter << " (n=" << n
+             << ", d=" << d << ")";
+    }
+  }
+  // The fuzz must actually have exercised the specialized tiers whenever
+  // the build provides them — an all-generic run would vacuously pass.
+  if (FixedScanKernel(1, AggShape::kFull) != nullptr) {
+    EXPECT_GT(cache.Stats().fixed_scans, 0u);
+  }
+  if (KernelCache::StencilTierAvailable()) {
+    EXPECT_GT(stencil_cache.Stats().jit_scans, 0u);
+    EXPECT_GT(stencil_cache.Stats().jit_compiles, 0u);
+  }
+}
+
+TEST(JitKernels, FixedKernelsDirectlyMatchGenericBitForBit) {
+  Rng rng(0xF17ED0D0ull);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t d = static_cast<size_t>(rng.UniformInt(1, 4));
+    const size_t n = static_cast<size_t>(
+        rng.Bernoulli(0.2) ? rng.UniformInt(250, 600) : rng.UniformInt(0, 40));
+    std::vector<double> agg(n);
+    for (double& a : agg) a = RandomValue(&rng);
+    std::vector<std::vector<double>> cols(d, std::vector<double>(n));
+    std::vector<ScanDim> dims(d);
+    for (size_t k = 0; k < d; ++k) {
+      for (double& v : cols[k]) v = RandomValue(&rng);
+      dims[k].values = cols[k].data();
+      RandomInterval(&rng, &dims[k].lo, &dims[k].hi);
+    }
+    const ScanStats generic = ScanColumns(agg.data(), n, dims.data(), d);
+    for (const AggShape shape : {AggShape::kFull, AggShape::kMoments}) {
+      const FixedKernelFn fn = FixedScanKernel(d, shape);
+      if (fn == nullptr) continue;  // PASS_JIT=OFF build: nothing to pin
+      ScanStats out;
+      fn(agg.data(), n, dims.data(), &out);
+      if (shape == AggShape::kFull) {
+        ExpectStatsBitIdentical(out, generic);
+      } else {
+        ExpectMomentsBitIdentical(out, generic);
+        EXPECT_EQ(out.min, kInf);
+        EXPECT_EQ(out.max, -kInf);
+      }
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged at fixed-kernel iteration " << iter << " (n=" << n
+             << ", d=" << d << ")";
+    }
+  }
+}
+
+TEST(JitKernels, OutOfRangeDimCountsServeGeneric) {
+  EXPECT_EQ(FixedScanKernel(0, AggShape::kFull), nullptr);
+  EXPECT_EQ(FixedScanKernel(kMaxSpecializedDims + 1, AggShape::kFull),
+            nullptr);
+  JitConfig config;
+  KernelCache cache(config);
+  const std::vector<double> agg = {1.0, 2.0, 3.0};
+  const ScanStats s =
+      cache.Scan(agg.data(), agg.size(), nullptr, 0, AggShape::kFull);
+  EXPECT_EQ(s.matched, 3u);
+  EXPECT_EQ(s.sum, 6.0);
+  EXPECT_EQ(cache.Stats().generic_scans, 1u);
+  EXPECT_EQ(cache.Stats().fixed_scans, 0u);
+  EXPECT_EQ(cache.Stats().jit_scans, 0u);
+}
+
+TEST(JitKernels, DefaultDispatchServesTheFixedTier) {
+  if (FixedScanKernel(2, AggShape::kFull) == nullptr) {
+    GTEST_SKIP() << "PASS_JIT=OFF build: no specialized tiers";
+  }
+  // The measured tier order: without the prefer_stencils opt-in the
+  // template kernels serve every in-range scan, even when the stencil
+  // tier is available (it is slower — see jit/jit_config.h).
+  JitConfig config;
+  KernelCache cache(config);
+  std::vector<double> agg(32, 1.0), col(32, 0.5);
+  const ScanDim dims[2] = {ScanDim{col.data(), 0.0, 1.0},
+                           ScanDim{col.data(), -1.0, 2.0}};
+  cache.Scan(agg.data(), agg.size(), dims, 2, AggShape::kFull);
+  EXPECT_EQ(cache.Stats().fixed_scans, 1u);
+  EXPECT_EQ(cache.Stats().jit_scans, 0u);
+  EXPECT_EQ(cache.Stats().jit_compiles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// KernelCache: hit/miss accounting, FIFO bound, eviction under threads
+// ---------------------------------------------------------------------------
+
+TEST(JitKernels, RepeatedPredicateHitsTheCache) {
+  if (!KernelCache::StencilTierAvailable()) {
+    GTEST_SKIP() << "stencil tier unavailable on this build/target";
+  }
+  JitConfig config;
+  config.prefer_stencils = true;
+  KernelCache cache(config);
+  std::vector<double> agg(64), col(64);
+  Rng rng(7);
+  for (size_t i = 0; i < agg.size(); ++i) {
+    agg[i] = RandomValue(&rng);
+    col[i] = RandomValue(&rng);
+  }
+  const ScanDim dim{col.data(), -1.0, 1.0};
+  const ScanStats first =
+      cache.Scan(agg.data(), agg.size(), &dim, 1, AggShape::kFull);
+  const ScanStats second =
+      cache.Scan(agg.data(), agg.size(), &dim, 1, AggShape::kFull);
+  ExpectStatsBitIdentical(first, second);
+  const KernelTierStats stats = cache.Stats();
+  EXPECT_EQ(stats.jit_scans, 2u);
+  EXPECT_EQ(stats.jit_compiles, 1u);
+  EXPECT_EQ(stats.jit_cache_hits, 1u);
+  EXPECT_EQ(cache.CompiledKernels(), 1u);
+  // Same bounds, other shape: a distinct stencil, so a distinct key.
+  cache.Scan(agg.data(), agg.size(), &dim, 1, AggShape::kMoments);
+  EXPECT_EQ(cache.Stats().jit_compiles, 2u);
+  EXPECT_EQ(cache.CompiledKernels(), 2u);
+}
+
+TEST(JitKernels, FifoEvictionBoundsResidentKernels) {
+  if (!KernelCache::StencilTierAvailable()) {
+    GTEST_SKIP() << "stencil tier unavailable on this build/target";
+  }
+  JitConfig config;
+  config.max_cached_kernels = 1;
+  config.prefer_stencils = true;
+  KernelCache cache(config);
+  std::vector<double> agg(32, 1.0);
+  std::vector<double> col(32, 0.5);
+  for (int i = 0; i < 3; ++i) {
+    const ScanDim dim{col.data(), 0.0, 1.0 + i};  // three distinct keys
+    cache.Scan(agg.data(), agg.size(), &dim, 1, AggShape::kFull);
+  }
+  EXPECT_EQ(cache.CompiledKernels(), 1u);
+  EXPECT_EQ(cache.Stats().jit_compiles, 3u);
+  EXPECT_EQ(cache.Stats().jit_evictions, 2u);
+}
+
+TEST(JitKernels, EvictionRacesStayCoherentUnderThreads) {
+  // Run under the TSan CI job: concurrent scans over more distinct
+  // predicates than the cache holds force compile/evict/hit interleavings
+  // while readers snapshot the counters and resident count.
+  JitConfig config;
+  config.max_cached_kernels = 2;
+  config.prefer_stencils = true;
+  KernelCache cache(config);
+  constexpr size_t kThreads = 4;
+  constexpr int kItersPerThread = 400;
+  constexpr size_t kDistinctKeys = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::vector<double> agg(128), col(128);
+      Rng rng(0x1000 + t);
+      for (size_t i = 0; i < agg.size(); ++i) {
+        agg[i] = RandomValue(&rng);
+        col[i] = RandomValue(&rng);
+      }
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const size_t key = (t + static_cast<size_t>(i)) % kDistinctKeys;
+        const ScanDim dim{col.data(), -1.0 - static_cast<double>(key), 1.0};
+        const ScanStats got =
+            cache.Scan(agg.data(), agg.size(), &dim, 1, AggShape::kFull);
+        const ScanStats want = ScanColumns(agg.data(), agg.size(), &dim, 1);
+        // EXPECT_* is not thread-safe on failure; CHECK aborts instead.
+        PASS_CHECK_MSG(got.matched == want.matched &&
+                           Bits(got.sum) == Bits(want.sum) &&
+                           Bits(got.min) == Bits(want.min),
+                       "racing scan diverged from the generic kernel");
+        if (i % 16 == 0) {
+          (void)cache.Stats();
+          PASS_CHECK_MSG(cache.CompiledKernels() <= kDistinctKeys,
+                         "resident kernels exceeded the distinct key count");
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const KernelTierStats stats = cache.Stats();
+  const uint64_t total =
+      stats.generic_scans + stats.fixed_scans + stats.jit_scans;
+  EXPECT_EQ(total, kThreads * static_cast<uint64_t>(kItersPerThread));
+  if (KernelCache::StencilTierAvailable()) {
+    EXPECT_EQ(stats.jit_scans, total);
+    EXPECT_GE(stats.jit_compiles, kDistinctKeys);
+    EXPECT_GT(stats.jit_evictions, 0u);
+    EXPECT_LE(cache.CompiledKernels(), config.max_cached_kernels);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EngineConfig surface
+// ---------------------------------------------------------------------------
+
+TEST(JitKernels, ConfigRejectsZeroCapacityWhenEnabled) {
+  EngineConfig config;
+  config.jit.enabled = true;
+  config.jit.max_cached_kernels = 0;
+  const Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("max_cached_kernels"), std::string::npos);
+  // Disabled jit never consults the bound, so 0 is fine there.
+  config.jit.enabled = false;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide: flipping EngineConfig::jit never changes an answer bit
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<AqpSystem> MakeEngine(const Dataset& data,
+                                      const std::string& name,
+                                      size_t num_shards, bool jit_enabled) {
+  EngineConfig config;
+  config.sample_rate = 0.02;
+  config.partitions = 16;
+  config.strategy = PartitionStrategy::kEqualDepth;
+  config.num_shards = num_shards;
+  config.seed = 42;
+  config.jit.enabled = jit_enabled;
+  auto engine = EngineRegistry::Global().Create(name, data, config);
+  PASS_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+  return std::move(engine).value();
+}
+
+TEST(JitKernels, RegistryAnswersBitIdenticalJitOnVsOff) {
+  const Dataset data = MakeTaxiLike(4000, /*seed=*/9);
+  WorkloadOptions wl;
+  wl.count = 6;
+  wl.seed = 77;
+  std::vector<Query> queries;
+  // MIN/MAX pin the full-shape exact path; the fused aggregates pin the
+  // moments-shape specializations.
+  for (const AggregateType agg :
+       {AggregateType::kSum, AggregateType::kCount, AggregateType::kAvg,
+        AggregateType::kMin, AggregateType::kMax}) {
+    wl.agg = agg;
+    const std::vector<Query> batch = RandomRangeQueries(data, wl);
+    queries.insert(queries.end(), batch.begin(), batch.end());
+  }
+  for (const char* name : {"pass", "exact", "uniform", "stratified"}) {
+    SCOPED_TRACE(name);
+    const auto on = MakeEngine(data, name, 1, /*jit_enabled=*/true);
+    const auto off = MakeEngine(data, name, 1, /*jit_enabled=*/false);
+    for (const Query& q : queries) {
+      ExpectAnswersBitIdentical(on->Answer(q), off->Answer(q));
+    }
+  }
+  for (const size_t k : {1u, 2u, 4u}) {
+    SCOPED_TRACE(k);
+    const auto on = MakeEngine(data, "sharded_pass", k, /*jit_enabled=*/true);
+    const auto off =
+        MakeEngine(data, "sharded_pass", k, /*jit_enabled=*/false);
+    for (const Query& q : queries) {
+      ExpectAnswersBitIdentical(on->Answer(q), off->Answer(q));
+    }
+  }
+}
+
+TEST(JitKernels, ResumedSessionsBitIdenticalJitOnVsOff) {
+  const Dataset data = MakeTaxiLike(4000, /*seed=*/9);
+  for (const size_t k : {1u, 2u, 4u}) {
+    SCOPED_TRACE(k);
+    const auto on = MakeEngine(data, "sharded_pass", k, /*jit_enabled=*/true);
+    const auto off =
+        MakeEngine(data, "sharded_pass", k, /*jit_enabled=*/false);
+    const Rect predicate =
+        testing::RangeQueryOnDim(AggregateType::kSum, data.NumPredDims(), 0,
+                                 0.2, 0.8)
+            .predicate;
+    const auto stepped = on->StartSession(predicate, /*seed=*/5);
+    ASSERT_NE(stepped, nullptr);
+    const uint64_t plan = stepped->PlanCost();
+    for (const uint64_t cap : {plan / 4, plan / 2, plan}) {
+      const MultiAnswer jit = stepped->AdvanceTo(cap);
+      // A fresh jit-off session advanced straight to the same cap must
+      // agree bit for bit with the resumed jit-on one: resume and tier
+      // dispatch are both answer-invariant.
+      const auto fresh = off->StartSession(predicate, /*seed=*/5);
+      const MultiAnswer scalar = fresh->AdvanceTo(cap);
+      ExpectAnswersBitIdentical(jit.sum, scalar.sum);
+      ExpectAnswersBitIdentical(jit.count, scalar.count);
+      ExpectAnswersBitIdentical(jit.avg, scalar.avg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pass

@@ -53,8 +53,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
 
 RULES = ("nvi-override", "fp-accumulation", "nondeterminism", "naked-mutex")
 
-# Paths (relative, '/'-separated) exempt per rule.
-KERNEL_DIR = "src/kernel/"
+# Paths (relative, '/'-separated) exempt per rule. The jit tree holds
+# the specialized kernel bodies (bit-identical twins of ScanColumns),
+# so it shares the kernel exemption for fp accumulation.
+KERNEL_DIRS = ("src/kernel/", "src/jit/")
 MUTEX_HEADER = "src/common/mutex.h"
 
 
@@ -187,19 +189,20 @@ DOUBLE_PTR_DECL = re.compile(
 
 
 def check_fp(path, rel, text):
-    if rel.startswith(KERNEL_DIR):
+    if rel.startswith(KERNEL_DIRS):
         return []
     findings = []
     for m in STD_REDUCERS.finditer(text):
         findings.append(Finding(
             path, line_of(text, m.start()), "fp-accumulation",
-            f"std::{m.group(1)} outside src/kernel/ — row-data reduction "
-            "must go through the deterministic kernel reducers"))
+            f"std::{m.group(1)} outside src/kernel/ or src/jit/ — row-data "
+            "reduction must go through the deterministic kernel reducers"))
     for m in OMP_PRAGMA.finditer(text):
         findings.append(Finding(
             path, line_of(text, m.start()), "fp-accumulation",
-            "#pragma omp outside src/kernel/ — parallel reduction order "
-            "must stay deterministic; use the kernel reducers"))
+            "#pragma omp outside src/kernel/ or src/jit/ — parallel "
+            "reduction order must stay deterministic; use the kernel "
+            "reducers"))
     # Loops that accumulate subscripted raw double-pointer data: the
     # signature of ad-hoc row reduction. Merges of named vectors/struct
     # fields don't involve a raw double* and stay legal.
@@ -212,7 +215,7 @@ def check_fp(path, rel, text):
             findings.append(Finding(
                 path, line_of(text, m.start()), "fp-accumulation",
                 "accumulation over subscripted raw double-pointer data "
-                "outside src/kernel/ — use the deterministic kernel "
+                "outside src/kernel/ or src/jit/ — use the deterministic "
                 "reducers"))
     return findings
 

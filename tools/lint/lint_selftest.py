@@ -23,6 +23,7 @@ FIXTURES = os.path.join(REPO, "tests", "lint_fixtures")
 EXPECTED = {
     "bad_nvi_override.cc": ("nvi-override", 4),
     "bad_fp_loop.cc": ("fp-accumulation", 3),
+    "bad_fp_reduce.cc": ("fp-accumulation", 3),
     "bad_rand.cc": ("nondeterminism", 3),
     "bad_naked_mutex.cc": ("naked-mutex", 2),
 }
